@@ -1,0 +1,82 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench prints an aligned text table by default; pass --csv for
+// machine-readable output and --fast for a quicker, lower-resolution run
+// (fewer requests / sweep points).
+#ifndef MSTK_BENCH_BENCH_UTIL_H_
+#define MSTK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/core/io_scheduler.h"
+#include "src/core/storage_device.h"
+
+namespace mstk {
+
+struct BenchOptions {
+  bool csv = false;
+  bool fast = false;
+
+  static BenchOptions Parse(int argc, char** argv) {
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--csv") == 0) {
+        opts.csv = true;
+      } else if (std::strcmp(argv[i], "--fast") == 0) {
+        opts.fast = true;
+      } else {
+        std::fprintf(stderr, "usage: %s [--csv] [--fast]\n", argv[0]);
+      }
+    }
+    return opts;
+  }
+
+  int64_t Scale(int64_t full) const { return fast ? full / 5 : full; }
+};
+
+// Prints one row of either CSV or fixed-width cells.
+class TableWriter {
+ public:
+  explicit TableWriter(bool csv) : csv_(csv) {}
+
+  void Row(const std::vector<std::string>& cells, int width = 14) const {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (csv_) {
+        std::printf("%s%s", cells[i].c_str(), i + 1 < cells.size() ? "," : "");
+      } else {
+        std::printf("%-*s", i == 0 ? 18 : width, cells[i].c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+ private:
+  bool csv_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+// Runs the sweep core of the scheduling figures: one (device, scheduler,
+// rate) cell of Fig 5/6/8.
+struct SchedulingCell {
+  double mean_response_ms;
+  double scv;
+};
+
+inline SchedulingCell RunSchedulingCell(StorageDevice* device, IoScheduler* scheduler,
+                                        const std::vector<Request>& requests) {
+  const ExperimentResult result = RunOpenLoop(device, scheduler, requests);
+  return SchedulingCell{result.MeanResponseMs(), result.ResponseScv()};
+}
+
+}  // namespace mstk
+
+#endif  // MSTK_BENCH_BENCH_UTIL_H_

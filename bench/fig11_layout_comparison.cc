@@ -1,0 +1,245 @@
+// Figure 11: comparison of data layout schemes (§5.3).
+//
+// Workload: 10,000 read requests; 89% "small" (4 KB) to a pool of popular
+// small objects, 11% "large" (400 KB) whole-stream reads. Layouts:
+//   simple      — aged-filesystem placement: every object/stream at a
+//                 uniform random spot on the device (linear LBN mapping,
+//                 no locality management)
+//   organ-pipe  — frequency-ranked placement around the device center
+//                 [VC90, RW91]; per-unit access frequency decides rank,
+//                 with ~1 large access per 8 small ones
+//   subregioned — bipartite 5x5 grid: small pool in the centermost cell,
+//                 streams in the 10 leftmost + 10 rightmost cells
+//   columnar    — bipartite 25-column split: small pool in the center
+//                 column, streams in the outer 20 columns
+//
+// Devices: MEMS (default), MEMS with zero settle, and the Atlas 10K
+// (simple and organ-pipe only — the bipartite schemes are MEMS-specific).
+//
+// Expected shape (paper): organ pipe, subregioned, and columnar all beat
+// simple by 13-20% on MEMS; subregioned/columnar edge out organ pipe; with
+// zero settle the subregioned layout (which optimizes X and Y) wins by a
+// further margin; Atlas gains ~13% from organ pipe.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/disk/disk_device.h"
+#include "src/layout/placements.h"
+#include "src/mems/mems_device.h"
+#include "src/sim/rng.h"
+
+namespace {
+
+using namespace mstk;
+
+constexpr int64_t kSmallObjects = 25000;
+constexpr int32_t kSmallBlocks = 8;  // 4 KB
+constexpr int64_t kStreams = 1000;
+constexpr int32_t kStreamBlocks = 800;  // 400 KB
+constexpr int64_t kSmallPool = kSmallObjects * kSmallBlocks;  // 200,000 blocks
+constexpr int64_t kLargePool = kStreams * kStreamBlocks;      // 800,000 blocks
+
+struct Access {
+  bool large;
+  int64_t unit;  // object or stream index
+};
+
+std::vector<Access> MakeAccesses(int64_t count, Rng& rng) {
+  std::vector<Access> accesses;
+  accesses.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    Access a;
+    a.large = rng.Bernoulli(0.11);
+    a.unit = a.large ? rng.UniformInt(kStreams) : rng.UniformInt(kSmallObjects);
+    accesses.push_back(a);
+  }
+  return accesses;
+}
+
+// A placement maps each unit to its physical extents.
+struct Placement {
+  std::vector<int64_t> small_base;   // per object
+  std::vector<int64_t> stream_base;  // per stream (contiguous kStreamBlocks)
+  const LayoutMap* bipartite = nullptr;  // set for subregioned/columnar
+};
+
+Placement MakeSimplePlacement(int64_t capacity, Rng& rng) {
+  Placement p;
+  p.small_base.resize(kSmallObjects);
+  for (auto& base : p.small_base) {
+    base = rng.UniformInt(capacity / kSmallBlocks - 1) * kSmallBlocks;
+  }
+  p.stream_base.resize(kStreams);
+  for (auto& base : p.stream_base) {
+    base = rng.UniformInt(capacity - kStreamBlocks);
+  }
+  return p;
+}
+
+// Frequency-ranked organ pipe, following the paper's setup: "we created a
+// distribution of one large request for every eight small requests", i.e.
+// the popularity ranking interleaves large and small units, so the
+// arrangement alternates runs of small objects with streams, sides
+// alternating outward from the device center.
+Placement MakeOrganPipePlacement(int64_t capacity) {
+  Placement p;
+  p.small_base.resize(kSmallObjects);
+  p.stream_base.resize(kStreams);
+  int64_t right = capacity / 2;  // next allocation on the right side
+  int64_t left = capacity / 2;   // next allocation on the left side
+  bool to_right = true;
+  auto allocate = [&](int64_t blocks) {
+    if (to_right) {
+      const int64_t base = right;
+      right += blocks;
+      to_right = false;
+      return base;
+    }
+    left -= blocks;
+    to_right = true;
+    return left;
+  };
+  // Proportional interleave: kSmallObjects/kStreams small objects per stream.
+  constexpr int64_t kPerChunk = kSmallObjects / kStreams;
+  static_assert(kPerChunk * kStreams == kSmallObjects,
+                "object count must divide evenly for the interleave");
+  for (int64_t s = 0; s < kStreams; ++s) {
+    for (int64_t o = 0; o < kPerChunk; ++o) {
+      p.small_base[static_cast<size_t>(s * kPerChunk + o)] = allocate(kSmallBlocks);
+    }
+    p.stream_base[static_cast<size_t>(s)] = allocate(kStreamBlocks);
+  }
+  return p;
+}
+
+struct AccessStats {
+  double mean_ms = 0.0;
+  double small_ms = 0.0;
+  double large_ms = 0.0;
+};
+
+AccessStats MeasureAccesses(StorageDevice* device, const Placement& placement,
+                            const std::vector<Access>& accesses) {
+  device->Reset();
+  double total = 0.0;
+  double small_total = 0.0;
+  double large_total = 0.0;
+  int64_t smalls = 0;
+  int64_t larges = 0;
+  for (const Access& a : accesses) {
+    double access_ms = 0.0;
+    Request req;
+    req.type = IoType::kRead;
+    if (placement.bipartite != nullptr) {
+      const int64_t logical =
+          a.large ? kSmallPool + a.unit * kStreamBlocks : a.unit * kSmallBlocks;
+      const int32_t blocks = a.large ? kStreamBlocks : kSmallBlocks;
+      for (const PhysExtent& extent : placement.bipartite->MapExtent(logical, blocks)) {
+        req.lbn = extent.lbn;
+        req.block_count = extent.blocks;
+        access_ms += device->ServiceRequest(req, 0.0);
+      }
+    } else {
+      req.lbn = a.large ? placement.stream_base[static_cast<size_t>(a.unit)]
+                        : placement.small_base[static_cast<size_t>(a.unit)];
+      req.block_count = a.large ? kStreamBlocks : kSmallBlocks;
+      access_ms = device->ServiceRequest(req, 0.0);
+    }
+    total += access_ms;
+    if (a.large) {
+      large_total += access_ms;
+      ++larges;
+    } else {
+      small_total += access_ms;
+      ++smalls;
+    }
+  }
+  AccessStats stats;
+  stats.mean_ms = total / static_cast<double>(accesses.size());
+  stats.small_ms = smalls > 0 ? small_total / static_cast<double>(smalls) : 0.0;
+  stats.large_ms = larges > 0 ? large_total / static_cast<double>(larges) : 0.0;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::Parse(argc, argv);
+  const TableWriter table(opts.csv);
+  const int64_t count = opts.Scale(10000);
+
+  Rng rng(55);
+  const std::vector<Access> accesses = MakeAccesses(count, rng);
+
+  MemsParams no_settle_params;
+  no_settle_params.settle_constants = 0.0;
+  MemsDevice mems_default;
+  MemsDevice mems_nosettle(no_settle_params);
+  DiskDevice atlas;
+
+  struct RowResult {
+    AccessStats mems, nosettle, disk;
+    bool has_disk;
+  };
+  std::vector<std::pair<const char*, RowResult>> rows;
+
+  // --- simple ----------------------------------------------------------
+  Rng place_rng(77);
+  const Placement simple_mems = MakeSimplePlacement(mems_default.CapacityBlocks(), place_rng);
+  Rng place_rng2(77);
+  const Placement simple_disk = MakeSimplePlacement(atlas.CapacityBlocks(), place_rng2);
+  rows.push_back({"simple",
+                  {MeasureAccesses(&mems_default, simple_mems, accesses),
+                   MeasureAccesses(&mems_nosettle, simple_mems, accesses),
+                   MeasureAccesses(&atlas, simple_disk, accesses), true}});
+
+  // --- organ pipe ------------------------------------------------------
+  const Placement organ_mems = MakeOrganPipePlacement(mems_default.CapacityBlocks());
+  const Placement organ_disk = MakeOrganPipePlacement(atlas.CapacityBlocks());
+  rows.push_back({"organ-pipe",
+                  {MeasureAccesses(&mems_default, organ_mems, accesses),
+                   MeasureAccesses(&mems_nosettle, organ_mems, accesses),
+                   MeasureAccesses(&atlas, organ_disk, accesses), true}});
+
+  // --- subregioned / columnar (MEMS only) ------------------------------
+  const ExtentLayout subregioned =
+      MakeSubregionedBipartiteLayout(mems_default.geometry(), kSmallPool, kLargePool);
+  const ExtentLayout columnar =
+      MakeColumnarBipartiteLayout(mems_default.geometry(), kSmallPool, kLargePool);
+  Placement sub_place;
+  sub_place.bipartite = &subregioned;
+  Placement col_place;
+  col_place.bipartite = &columnar;
+  rows.push_back({"subregioned",
+                  {MeasureAccesses(&mems_default, sub_place, accesses),
+                   MeasureAccesses(&mems_nosettle, sub_place, accesses), {}, false}});
+  rows.push_back({"columnar",
+                  {MeasureAccesses(&mems_default, col_place, accesses),
+                   MeasureAccesses(&mems_nosettle, col_place, accesses), {}, false}});
+
+  std::printf("Figure 11: mean access time (ms) by layout and device\n");
+  std::printf("(small = 4 KB requests, large = 400 KB requests)\n");
+  table.Row({"layout", "MEMS", "MEMS-small", "MEMS-large", "nosettle", "Atlas10K"},
+            12);
+  for (const auto& [name, r] : rows) {
+    table.Row({name, Fmt("%.3f", r.mems.mean_ms), Fmt("%.3f", r.mems.small_ms),
+               Fmt("%.3f", r.mems.large_ms), Fmt("%.3f", r.nosettle.mean_ms),
+               r.has_disk ? Fmt("%.3f", r.disk.mean_ms) : "-"},
+              12);
+  }
+
+  std::printf("\nImprovement over the simple layout (%%):\n");
+  table.Row({"layout", "MEMS", "MEMS-nosettle", "Atlas10K"});
+  const RowResult& base = rows[0].second;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const RowResult& r = rows[i].second;
+    table.Row({rows[i].first,
+               Fmt("%.1f", (1.0 - r.mems.mean_ms / base.mems.mean_ms) * 100.0),
+               Fmt("%.1f", (1.0 - r.nosettle.mean_ms / base.nosettle.mean_ms) * 100.0),
+               r.has_disk ? Fmt("%.1f", (1.0 - r.disk.mean_ms / base.disk.mean_ms) * 100.0)
+                          : "-"});
+  }
+  return 0;
+}

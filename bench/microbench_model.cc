@@ -1,0 +1,98 @@
+// google-benchmark microbenchmarks for the hot paths of the simulator:
+// the closed-form sled planner (SPTF evaluates it per pending request per
+// dispatch), device service computation, and scheduler dispatch.
+#include <benchmark/benchmark.h>
+
+#include "src/disk/disk_device.h"
+#include "src/mems/mems_device.h"
+#include "src/sched/sptf.h"
+#include "src/sim/rng.h"
+
+namespace {
+
+using namespace mstk;
+
+void BM_SledSeekClosedForm(benchmark::State& state) {
+  const SledKinematics kin(SledAxisParams{803.6, 50e-6, 0.75});
+  Rng rng(1);
+  double from = -40e-6;
+  for (auto _ : state) {
+    const double to = rng.Uniform(-50e-6, 50e-6);
+    benchmark::DoNotOptimize(kin.SeekSeconds(from, to));
+    from = to;
+  }
+}
+BENCHMARK(BM_SledSeekClosedForm);
+
+void BM_SledTravelMovingStart(benchmark::State& state) {
+  const SledKinematics kin(SledAxisParams{803.6, 50e-6, 0.75});
+  Rng rng(2);
+  for (auto _ : state) {
+    const double y0 = rng.Uniform(-48e-6, 48e-6);
+    const double y1 = rng.Uniform(-48e-6, 48e-6);
+    benchmark::DoNotOptimize(kin.TravelSeconds(y0, 0.028, y1, -0.028));
+  }
+}
+BENCHMARK(BM_SledTravelMovingStart);
+
+void BM_MemsServiceRequest4K(benchmark::State& state) {
+  MemsDevice device;
+  Rng rng(3);
+  Request req;
+  req.block_count = 8;
+  for (auto _ : state) {
+    req.lbn = rng.UniformInt(device.CapacityBlocks() - 8);
+    benchmark::DoNotOptimize(device.ServiceRequest(req, 0.0));
+  }
+}
+BENCHMARK(BM_MemsServiceRequest4K);
+
+void BM_MemsEstimatePositioning(benchmark::State& state) {
+  MemsDevice device;
+  Rng rng(4);
+  Request req;
+  req.block_count = 8;
+  for (auto _ : state) {
+    req.lbn = rng.UniformInt(device.CapacityBlocks() - 8);
+    benchmark::DoNotOptimize(device.EstimatePositioningMs(req, 0.0));
+  }
+}
+BENCHMARK(BM_MemsEstimatePositioning);
+
+void BM_DiskServiceRequest4K(benchmark::State& state) {
+  DiskDevice device;
+  Rng rng(5);
+  Request req;
+  req.block_count = 8;
+  double now = 0.0;
+  for (auto _ : state) {
+    req.lbn = rng.UniformInt(device.CapacityBlocks() - 8);
+    now += device.ServiceRequest(req, now);
+    benchmark::DoNotOptimize(now);
+  }
+}
+BENCHMARK(BM_DiskServiceRequest4K);
+
+void BM_SptfPopQueue(benchmark::State& state) {
+  MemsDevice device;
+  Rng rng(6);
+  const int64_t depth = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SptfScheduler sched(&device);
+    for (int64_t i = 0; i < depth; ++i) {
+      Request req;
+      req.id = i;
+      req.block_count = 8;
+      req.lbn = rng.UniformInt(device.CapacityBlocks() - 8);
+      sched.Add(req);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sched.Pop(0.0));
+  }
+}
+BENCHMARK(BM_SptfPopQueue)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

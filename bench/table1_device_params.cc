@@ -1,0 +1,69 @@
+// Table 1: device parameters and the values derived from them, plus the
+// headline figures quoted in §2 (capacity, streaming rate, average random
+// 4 KB access time).
+#include <cstdio>
+
+#include "src/core/request.h"
+#include "src/mems/mems_device.h"
+#include "src/sim/rng.h"
+
+int main() {
+  using namespace mstk;
+  const MemsParams p;
+  MemsDevice device(p);
+
+  std::printf("Table 1: MEMS-based storage device parameters (defaults)\n");
+  std::printf("---------------------------------------------------------\n");
+  std::printf("  %-34s %g um\n", "sled mobility in X and Y", p.sled_mobility_um);
+  std::printf("  %-34s %g nm (%.4f um^2)\n", "bit cell width (area)", p.bit_width_nm,
+              p.bit_width_nm * p.bit_width_nm * 1e-6);
+  std::printf("  %-34s %d\n", "number of tips", p.total_tips);
+  std::printf("  %-34s %d\n", "simultaneously active tips", p.active_tips);
+  std::printf("  %-34s %d bits (%d data bytes)\n", "tip sector length",
+              p.tip_sector_data_bits, p.tip_sector_data_bits / 10);
+  std::printf("  %-34s %d bits per tip sector\n", "servo overhead", p.tip_sector_servo_bits);
+  std::printf("  %-34s %.2f GB\n", "device capacity (per sled)",
+              static_cast<double>(p.capacity_bytes()) / (1024.0 * 1024.0 * 1024.0));
+  std::printf("  %-34s %g Kbit/s\n", "per-tip data rate", p.per_tip_rate_kbitps);
+  std::printf("  %-34s %g m/s^2\n", "sled acceleration", p.sled_accel_ms2);
+  std::printf("  %-34s %g\n", "settling time constants", p.settle_constants);
+  std::printf("  %-34s %g Hz\n", "sled resonant frequency", p.resonant_freq_hz);
+  std::printf("  %-34s %.0f%%\n", "spring factor", p.spring_factor * 100.0);
+
+  std::printf("\nDerived quantities\n");
+  std::printf("------------------\n");
+  std::printf("  %-34s %d\n", "cylinders", p.cylinders());
+  std::printf("  %-34s %d\n", "tracks per cylinder", p.tracks_per_cylinder());
+  std::printf("  %-34s %d\n", "tip sectors per tip track", p.rows_per_track());
+  std::printf("  %-34s %d\n", "LBNs per row pass", p.slots_per_row());
+  std::printf("  %-34s %lld\n", "LBNs per track",
+              static_cast<long long>(p.blocks_per_track()));
+  std::printf("  %-34s %lld\n", "total LBNs (512 B)",
+              static_cast<long long>(p.capacity_blocks()));
+  std::printf("  %-34s %.4f m/s\n", "media access velocity", p.access_velocity());
+  std::printf("  %-34s %.4f ms\n", "row pass time", device.RowPassMs());
+  std::printf("  %-34s %.1f MB/s  (paper: 79.6)\n", "streaming bandwidth",
+              p.streaming_bytes_per_second() / 1e6);
+  std::printf("  %-34s %.4f ms   (paper: ~0.2)\n", "settle time (1 constant)",
+              device.SettleMs());
+  std::printf("  %-34s %.4f ms\n", "full-stroke X seek (no settle)",
+              device.CylinderSeekMs(0, p.cylinders() - 1));
+  std::printf("  %-34s %.4f ms  (paper: 0.036-1.11 avg 0.063; see DESIGN.md)\n",
+              "turnaround at center", device.TurnaroundMs(0.0));
+
+  // Average random 4 KB access time (§2.1 quotes ~0.5-1 ms regime).
+  Rng rng(1);
+  const int kSamples = 20000;
+  double total_ms = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    Request req;
+    req.id = i;
+    req.type = IoType::kRead;
+    req.block_count = 8;  // 4 KB
+    req.lbn = rng.UniformInt(device.CapacityBlocks() - req.block_count);
+    total_ms += device.ServiceRequest(req, 0.0);
+  }
+  std::printf("  %-34s %.3f ms  (paper: ~0.5-1)\n", "avg random 4 KB access",
+              total_ms / kSamples);
+  return 0;
+}

@@ -1,0 +1,52 @@
+# Bench targets are defined from the top level (include(), not
+# add_subdirectory()) so that build/bench/ holds ONLY the bench binaries —
+# `for b in build/bench/*; do $b; done` runs the whole suite.
+
+function(mstk_bench name)
+  add_executable(${name} bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE
+    mstk_sim mstk_core mstk_mems mstk_disk mstk_sched mstk_workload
+    mstk_layout mstk_fault mstk_power mstk_array mstk_cache mstk_fs)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+function(mstk_gbench name)
+  add_executable(${name} bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE
+    mstk_sim mstk_core mstk_mems mstk_disk mstk_sched mstk_workload
+    mstk_layout mstk_fault mstk_power mstk_array mstk_cache mstk_fs
+    benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+mstk_bench(table1_device_params)
+mstk_bench(table2_read_modify_write)
+mstk_bench(fig5_disk_scheduling)
+mstk_bench(fig6_mems_scheduling)
+mstk_bench(fig7_trace_scheduling)
+mstk_bench(fig8_settling_sensitivity)
+mstk_bench(fig9_subregion_map)
+mstk_bench(fig10_large_transfer)
+mstk_bench(fig11_layout_comparison)
+mstk_bench(fault_tolerance)
+mstk_bench(power_management)
+mstk_bench(ablation_spring)
+mstk_bench(ablation_settle_sweep)
+mstk_bench(raid_small_write)
+mstk_bench(cache_effects)
+mstk_bench(ablation_active_tips)
+mstk_bench(closed_loop_throughput)
+mstk_bench(sched_knowledge_ladder)
+mstk_bench(banding_profile)
+mstk_bench(sync_write_penalty)
+mstk_bench(tiered_store_bench)
+mstk_bench(filesystem_aging)
+mstk_bench(generation_scaling)
+mstk_bench(fairness_frontier)
+mstk_bench(merging_effect)
+mstk_bench(shuffle_overhead)
+mstk_bench(bus_interface)
+mstk_bench(background_rebuild)
+mstk_gbench(microbench_model)

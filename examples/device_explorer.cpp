@@ -1,0 +1,63 @@
+// Device explorer: dumps the MEMS device model's raw mechanical curves as
+// CSV for plotting — X seek time vs distance (by start position), Y seek
+// time vs distance (by start velocity), and turnaround time vs sled offset
+// for both spring parameterizations. Handy when tuning parameters or
+// sanity-checking a model change.
+//
+// Run: ./build/examples/device_explorer > curves.csv
+#include <cstdio>
+
+#include "src/mems/mems_device.h"
+
+int main() {
+  using namespace mstk;
+
+  MemsParams bounded;
+  MemsParams resonant;
+  resonant.spring_model = SpringModel::kResonant;
+  MemsDevice dev_b(bounded);
+  MemsDevice dev_r(resonant);
+  const double v = bounded.access_velocity();
+
+  std::printf("curve,param,x,value_ms\n");
+
+  // X seek time vs cylinder distance, from the center and from the edge.
+  for (int32_t d = 1; d <= 2400; d += 25) {
+    const double from_center = dev_b.CylinderSeekMs(1250 - d / 2, 1250 + (d + 1) / 2);
+    const double from_edge = dev_b.CylinderSeekMs(0, d);
+    std::printf("xseek,center,%d,%.6f\n", d, from_center);
+    std::printf("xseek,edge,%d,%.6f\n", d, from_edge);
+  }
+
+  // Y travel time to reach access velocity vs distance (from rest).
+  const SledKinematics& kin = dev_b.kinematics();
+  for (int um = 1; um <= 90; um += 1) {
+    const double d = um * 1e-6;
+    const double t = SecondsToMs(kin.TravelSeconds(-45e-6, 0.0, -45e-6 + d, v));
+    std::printf("yseek,rest,%d,%.6f\n", um, t);
+  }
+
+  // Turnaround vs sled offset, both spring models, both directions.
+  for (int um = -48; um <= 48; um += 1) {
+    const double y = um * 1e-6;
+    std::printf("turnaround,bounded_out,%d,%.6f\n", um,
+                SecondsToMs(dev_b.kinematics().TurnaroundSeconds(y, +v)));
+    std::printf("turnaround,bounded_in,%d,%.6f\n", um,
+                SecondsToMs(dev_b.kinematics().TurnaroundSeconds(y, -v)));
+    std::printf("turnaround,resonant_out,%d,%.6f\n", um,
+                SecondsToMs(dev_r.kinematics().TurnaroundSeconds(y, +v)));
+    std::printf("turnaround,resonant_in,%d,%.6f\n", um,
+                SecondsToMs(dev_r.kinematics().TurnaroundSeconds(y, -v)));
+  }
+
+  // Full request service time vs request size (sequential from center).
+  for (int32_t blocks = 8; blocks <= 4096; blocks *= 2) {
+    MemsDevice fresh(bounded);
+    Request req;
+    req.lbn = fresh.CapacityBlocks() / 2;
+    req.block_count = blocks;
+    std::printf("service,size_blocks,%d,%.6f\n", blocks,
+                fresh.ServiceRequest(req, 0.0));
+  }
+  return 0;
+}

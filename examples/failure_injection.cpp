@@ -1,0 +1,88 @@
+// Failure-management scenario (§6.1): provisioning a MEMS-based storage
+// device for a target durability. Explores the capacity / fault-tolerance
+// trade-off the paper highlights — on tip failure the OS can convert
+// regular tips into spares (giving up capacity) or spares into regular tips
+// (giving up margin) — and shows the remapping-performance contrast with
+// disk-style defect handling.
+//
+// Run: ./build/examples/failure_injection
+#include <cstdio>
+
+#include "src/fault/ecc.h"
+#include "src/fault/lifetime.h"
+#include "src/fault/remap.h"
+#include "src/mems/mems_device.h"
+#include "src/sim/rng.h"
+
+int main() {
+  using namespace mstk;
+
+  std::printf("Provisioning sweep: 5-year durability vs capacity given up\n");
+  std::printf("(6400 tips, 100-year tip MTBF, 64-tip stripes)\n\n");
+  std::printf("%-10s %-10s %14s %16s %16s\n", "ecc_tips", "spares", "loss_prob",
+              "capacity_lost", "usable_GB");
+  const double raw_gb = 3.456e9 * (72.0 / 64.0) / 1e9;  // media incl. ECC budget
+  for (const int ecc : {2, 4, 8, 16}) {
+    for (const int spares : {128, 512}) {
+      LifetimeParams p;
+      p.ecc_tips = ecc;
+      p.spare_tips = spares;
+      p.trials = 1500;
+      Rng rng(static_cast<uint64_t>(ecc * 1000 + spares));
+      const LifetimeResult r = RunLifetimeStudy(p, rng);
+      const double overhead =
+          (static_cast<double>(ecc) / (64 + ecc)) +
+          static_cast<double>(spares) / 6400.0;
+      std::printf("%-10d %-10d %14.3f %15.1f%% %16.2f\n", ecc, spares,
+                  r.data_loss_probability, overhead * 100.0, raw_gb * (1.0 - overhead));
+    }
+  }
+
+  std::printf("\nVertical-code strength (converting errors to erasures):\n");
+  std::printf("%-22s %18s %18s\n", "vertical_detection", "P(decode|4 bad)",
+              "P(decode|8 bad)");
+  for (const double det : {0.9, 0.99, 0.999, 0.9999}) {
+    const EccModel ecc{EccParams{64, 8, det}};
+    std::printf("%-22g %18.4f %18.4f\n", det, ecc.DecodeProbability(4),
+                ecc.DecodeProbability(8));
+  }
+
+  std::printf("\nDefect remapping performance (sequential 64 KB reads, 500 defects):\n");
+  MemsDevice device;
+  Rng defect_rng(21);
+  const int64_t region = 2000000;
+  auto measure = [&](RemapStyle style) {
+    DefectRemapper remap(device.CapacityBlocks(), style,
+                         device.CapacityBlocks() - 20000);
+    Rng rng = defect_rng;
+    for (int i = 0; i < 500; ++i) {
+      remap.MarkDefective(rng.UniformInt(region));
+    }
+    device.Reset();
+    Rng read_rng(5);
+    double total = 0.0;
+    for (int i = 0; i < 3000; ++i) {
+      const int64_t lbn = read_rng.UniformInt(region - 128);
+      for (const PhysExtent& extent : remap.Map(lbn, 128)) {
+        Request req;
+        req.lbn = extent.lbn;
+        req.block_count = extent.blocks;
+        total += device.ServiceRequest(req, 0.0);
+      }
+    }
+    return total / 3000.0;
+  };
+  const double mems_ms = measure(RemapStyle::kMemsSpareTip);
+  const double slip_ms = measure(RemapStyle::kDiskSlip);
+  const double spare_ms = measure(RemapStyle::kDiskSpareRegion);
+  std::printf("  %-22s %8.3f ms\n", "mems-spare-tip", mems_ms);
+  std::printf("  %-22s %8.3f ms (%.1f%% slower)\n", "disk-slip", slip_ms,
+              (slip_ms / mems_ms - 1.0) * 100.0);
+  std::printf("  %-22s %8.3f ms (%.1f%% slower)\n", "disk-spare-region", spare_ms,
+              (spare_ms / mems_ms - 1.0) * 100.0);
+  std::printf(
+      "\nSame-tip-sector sparing keeps remapped sectors on the access path —\n"
+      "zero service-time change — where disk-style spare regions break the\n"
+      "physical sequentiality of every run that touches a grown defect (§6.1.1).\n");
+  return 0;
+}

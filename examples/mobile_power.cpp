@@ -1,0 +1,78 @@
+// Mobile-power scenario (§7): a laptop's bursty storage traffic on (a) a
+// MEMS-based storage device and (b) a mobile hard disk. Sweeps the OS
+// idle-policy timeout and reports energy, added latency, and a battery-life
+// estimate — showing why the MEMS device's ~0.5 ms restart collapses the
+// whole policy space down to "park immediately".
+//
+// Run: ./build/examples/mobile_power
+#include <cstdio>
+#include <vector>
+
+#include "src/mems/mems_device.h"
+#include "src/power/power_manager.h"
+#include "src/sched/fcfs.h"
+#include "src/sim/rng.h"
+#include "src/workload/cello_like.h"
+
+int main() {
+  using namespace mstk;
+
+  MemsDevice device;
+  FcfsScheduler sched;
+
+  // A bursty, mostly-idle interactive workload.
+  CelloLikeConfig config;
+  config.request_count = 20000;
+  config.capacity_blocks = device.CapacityBlocks();
+  config.base_rate_per_s = 5.0;
+  Rng rng(9);
+  const auto requests = GenerateCelloLike(config, rng);
+
+  struct Candidate {
+    const char* label;
+    IdlePolicy policy;
+  };
+  const std::vector<Candidate> candidates = {
+      {"always-on", IdlePolicy::AlwaysOn()},
+      {"timeout 5 s", IdlePolicy::Timeout(5000.0)},
+      {"timeout 1 s", IdlePolicy::Timeout(1000.0)},
+      {"timeout 100 ms", IdlePolicy::Timeout(100.0)},
+      {"immediate", IdlePolicy::Immediate()},
+  };
+
+  struct DeviceProfile {
+    const char* label;
+    DevicePowerParams power;
+    double battery_j;  // a small battery budget dedicated to storage
+  };
+  const DeviceProfile profiles[] = {
+      {"MEMS device", DevicePowerParams::MemsDefaults(), 2000.0},
+      {"mobile disk", DevicePowerParams::MobileDiskDefaults(), 2000.0},
+  };
+
+  for (const DeviceProfile& profile : profiles) {
+    std::printf("%s (restart %.1f ms)\n", profile.label, profile.power.restart_ms);
+    std::printf("  %-16s %10s %12s %14s %14s\n", "policy", "energy_J", "added_ms",
+                "mean_power_mW", "hours_on_2kJ");
+    double baseline_resp = 0.0;
+    for (const Candidate& candidate : candidates) {
+      const PowerResult r = RunPowerExperiment(&device, &sched, requests, profile.power,
+                                               candidate.policy);
+      if (baseline_resp == 0.0) {
+        baseline_resp = r.mean_response_ms;
+      }
+      const double hours =
+          profile.battery_j / r.total_j() * (r.makespan_ms / 3.6e6);
+      std::printf("  %-16s %10.1f %12.2f %14.0f %14.1f\n", candidate.label, r.total_j(),
+                  r.mean_response_ms - baseline_resp, r.mean_power_mw(), hours);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "The disk's policy curve is a real trade-off: short timeouts burn energy\n"
+      "on spin-up surges and add second-scale stalls. The MEMS device has no\n"
+      "such tension — immediate parking cuts energy by an order of magnitude\n"
+      "for ~0.5 ms of added latency, so the OS policy reduces to one mode (§7).\n");
+  return 0;
+}

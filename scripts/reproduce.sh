@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# One-command reproduction: clean build, full test suite, every figure and
+# table, with outputs captured at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo
+echo "Done. See EXPERIMENTS.md for paper-vs-measured commentary."

@@ -1,0 +1,386 @@
+#include "src/array/raid.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/sim/check.h"
+
+namespace mstk {
+
+RaidArray::RaidArray(const RaidConfig& config, std::vector<StorageDevice*> members)
+    : config_(config), members_(std::move(members)) {
+  MSTK_CHECK(!members_.empty(), "array needs at least one member");
+  MSTK_CHECK(config_.stripe_unit_blocks > 0, "bad stripe unit");
+  if (config_.level == RaidLevel::kRaid5) {
+    MSTK_CHECK(members_.size() >= 3, "RAID-5 needs >= 3 members");
+  }
+  failed_.assign(members_.size(), false);
+
+  member_capacity_ = members_[0]->CapacityBlocks();
+  for (StorageDevice* m : members_) {
+    member_capacity_ = std::min(member_capacity_, m->CapacityBlocks());
+  }
+  // Round to whole stripe units.
+  member_capacity_ -= member_capacity_ % config_.stripe_unit_blocks;
+
+  const int64_t n = static_cast<int64_t>(members_.size());
+  switch (config_.level) {
+    case RaidLevel::kRaid0:
+      capacity_blocks_ = member_capacity_ * n;
+      name_ = "raid0";
+      break;
+    case RaidLevel::kRaid1:
+      capacity_blocks_ = member_capacity_;
+      name_ = "raid1";
+      break;
+    case RaidLevel::kRaid5:
+      capacity_blocks_ = member_capacity_ * (n - 1);
+      name_ = "raid5";
+      break;
+  }
+}
+
+void RaidArray::Reset() {
+  for (StorageDevice* m : members_) {
+    m->Reset();
+  }
+  std::fill(failed_.begin(), failed_.end(), false);
+  activity_ = DeviceActivity{};
+}
+
+void RaidArray::SetMemberFailed(int member, bool failed) {
+  MSTK_CHECK(member >= 0 && member < member_count(), "bad member index");
+  failed_[static_cast<size_t>(member)] = failed;
+}
+
+RaidArray::MemberBlock RaidArray::MapRaid0(int64_t array_lbn) const {
+  const int64_t unit = config_.stripe_unit_blocks;
+  const int64_t n = static_cast<int64_t>(members_.size());
+  const int64_t u = array_lbn / unit;
+  return MemberBlock{static_cast<int>(u % n), (u / n) * unit + array_lbn % unit};
+}
+
+int RaidArray::Raid5ParityMember(int64_t row) const {
+  const int64_t n = static_cast<int64_t>(members_.size());
+  return static_cast<int>((n - 1) - (row % n));
+}
+
+RaidArray::MemberBlock RaidArray::MapRaid5Data(int64_t array_lbn) const {
+  const int64_t unit = config_.stripe_unit_blocks;
+  const int64_t n = static_cast<int64_t>(members_.size());
+  const int64_t u = array_lbn / unit;
+  const int64_t row = u / (n - 1);
+  const int64_t col = u % (n - 1);
+  const int parity = Raid5ParityMember(row);
+  const int member = col < parity ? static_cast<int>(col) : static_cast<int>(col) + 1;
+  return MemberBlock{member, row * unit + array_lbn % unit};
+}
+
+std::vector<RaidArray::MemberOp> RaidArray::PlanRead(const Request& req) const {
+  std::vector<MemberOp> ops;
+  const int64_t unit = config_.stripe_unit_blocks;
+  switch (config_.level) {
+    case RaidLevel::kRaid1: {
+      // Read from the live member with the cheapest positioning.
+      int best = -1;
+      double best_cost = 0.0;
+      for (int m = 0; m < member_count(); ++m) {
+        if (failed_[static_cast<size_t>(m)]) {
+          continue;
+        }
+        Request probe = req;
+        const double cost = members_[static_cast<size_t>(m)]->EstimatePositioningMs(probe, 0.0);
+        if (best < 0 || cost < best_cost) {
+          best = m;
+          best_cost = cost;
+        }
+      }
+      MSTK_CHECK(best >= 0, "all mirrors failed");
+      ops.push_back(MemberOp{best, req.lbn, req.block_count, IoType::kRead, -1, false});
+      return ops;
+    }
+    case RaidLevel::kRaid0:
+    case RaidLevel::kRaid5: {
+      int64_t cursor = req.lbn;
+      int64_t remaining = req.block_count;
+      while (remaining > 0) {
+        const int64_t in_unit = cursor % unit;
+        const int32_t run = static_cast<int32_t>(
+            std::min<int64_t>(remaining, unit - in_unit));
+        const MemberBlock mb = config_.level == RaidLevel::kRaid0
+                                   ? MapRaid0(cursor)
+                                   : MapRaid5Data(cursor);
+        if (config_.level == RaidLevel::kRaid5 &&
+            failed_[static_cast<size_t>(mb.member)]) {
+          // Degraded read: reconstruct from every other member's blocks at
+          // the same row offsets (data peers + parity).
+          const int64_t row = mb.lbn / unit;
+          for (int m = 0; m < member_count(); ++m) {
+            if (m == mb.member) {
+              continue;
+            }
+            MSTK_CHECK(!failed_[static_cast<size_t>(m)],
+                       "RAID-5 cannot survive two failures");
+            ops.push_back(MemberOp{m, mb.lbn, run, IoType::kRead, row, false});
+          }
+        } else {
+          ops.push_back(MemberOp{mb.member, mb.lbn, run, IoType::kRead, -1, false});
+        }
+        cursor += run;
+        remaining -= run;
+      }
+      // Coalesce physically adjacent ops per member: striping visits the
+      // members round-robin, but each member's successive units are
+      // contiguous LBNs, so a large read becomes one long run per member.
+      std::vector<MemberOp> merged;
+      std::vector<int> last_index(members_.size(), -1);
+      for (const MemberOp& op : ops) {
+        const int idx = last_index[static_cast<size_t>(op.member)];
+        if (idx >= 0 && merged[static_cast<size_t>(idx)].lbn +
+                                merged[static_cast<size_t>(idx)].blocks == op.lbn &&
+            merged[static_cast<size_t>(idx)].phase2 == op.phase2) {
+          merged[static_cast<size_t>(idx)].blocks += op.blocks;
+        } else {
+          last_index[static_cast<size_t>(op.member)] = static_cast<int>(merged.size());
+          merged.push_back(op);
+        }
+      }
+      return merged;
+    }
+  }
+  return ops;
+}
+
+void RaidArray::PlanRaid5RowWrite(int64_t row, int64_t first_unit, int64_t last_unit,
+                                  int64_t lbn_in_row_first, int32_t blocks,
+                                  std::vector<MemberOp>* ops) const {
+  const int64_t unit = config_.stripe_unit_blocks;
+  const int64_t n = static_cast<int64_t>(members_.size());
+  const int parity = Raid5ParityMember(row);
+  const bool parity_live = !failed_[static_cast<size_t>(parity)];
+  const int64_t units_in_row = n - 1;
+  const bool full_stripe = (first_unit == 0 && last_unit == units_in_row - 1 &&
+                            lbn_in_row_first % unit == 0 && blocks == units_in_row * unit);
+
+  // Parity region within the row: the union span of covered offsets.
+  const int64_t span_lo = lbn_in_row_first % unit;
+  int64_t span_hi = (lbn_in_row_first % unit) + blocks;
+  if (last_unit > first_unit) {
+    span_hi = unit;  // middle units are fully covered; span is [lo, unit)
+  }
+  span_hi = std::min<int64_t>(span_hi, unit);
+  const int64_t parity_lo = first_unit == last_unit ? span_lo : 0;
+  const int64_t parity_blocks = first_unit == last_unit
+                                    ? span_hi - span_lo
+                                    : unit;  // conservative: whole unit
+
+  // Emit per covered unit.
+  int64_t cursor = lbn_in_row_first;
+  int64_t remaining = blocks;
+  bool any_data_failed = false;
+  for (int64_t u = first_unit; u <= last_unit; ++u) {
+    const int64_t in_unit = cursor % unit;
+    const int32_t run =
+        static_cast<int32_t>(std::min<int64_t>(remaining, unit - in_unit));
+    const int member = u < parity ? static_cast<int>(u) : static_cast<int>(u) + 1;
+    const int64_t mlbn = row * unit + in_unit;
+    if (failed_[static_cast<size_t>(member)]) {
+      any_data_failed = true;
+    } else {
+      if (!full_stripe) {
+        ops->push_back(MemberOp{member, mlbn, run, IoType::kRead, row, false});
+      }
+      ops->push_back(MemberOp{member, mlbn, run, IoType::kWrite, row, true});
+    }
+    cursor += run;
+    remaining -= run;
+  }
+
+  if (any_data_failed && parity_live) {
+    // Reconstruct-write: parity must be rebuilt from all surviving data
+    // units (read them fully) instead of the usual old-data XOR.
+    for (int64_t u = 0; u < units_in_row; ++u) {
+      const int member = u < parity ? static_cast<int>(u) : static_cast<int>(u) + 1;
+      if (failed_[static_cast<size_t>(member)] || (u >= first_unit && u <= last_unit)) {
+        continue;  // failed, or already read above
+      }
+      ops->push_back(MemberOp{member, row * unit, static_cast<int32_t>(unit),
+                              IoType::kRead, row, false});
+    }
+  }
+
+  if (parity_live) {
+    if (!full_stripe && !any_data_failed) {
+      ops->push_back(MemberOp{parity, row * unit + parity_lo,
+                              static_cast<int32_t>(parity_blocks), IoType::kRead, row,
+                              false});
+    }
+    ops->push_back(MemberOp{parity, row * unit + parity_lo,
+                            static_cast<int32_t>(parity_blocks), IoType::kWrite, row,
+                            true});
+  }
+}
+
+std::vector<RaidArray::MemberOp> RaidArray::PlanWrite(const Request& req) const {
+  std::vector<MemberOp> ops;
+  const int64_t unit = config_.stripe_unit_blocks;
+  switch (config_.level) {
+    case RaidLevel::kRaid1: {
+      for (int m = 0; m < member_count(); ++m) {
+        if (!failed_[static_cast<size_t>(m)]) {
+          ops.push_back(
+              MemberOp{m, req.lbn, req.block_count, IoType::kWrite, -1, false});
+        }
+      }
+      return ops;
+    }
+    case RaidLevel::kRaid0: {
+      int64_t cursor = req.lbn;
+      int64_t remaining = req.block_count;
+      std::vector<int> last_index(members_.size(), -1);
+      while (remaining > 0) {
+        const int64_t in_unit = cursor % unit;
+        const int32_t run =
+            static_cast<int32_t>(std::min<int64_t>(remaining, unit - in_unit));
+        const MemberBlock mb = MapRaid0(cursor);
+        const int idx = last_index[static_cast<size_t>(mb.member)];
+        if (idx >= 0 &&
+            ops[static_cast<size_t>(idx)].lbn + ops[static_cast<size_t>(idx)].blocks ==
+                mb.lbn) {
+          ops[static_cast<size_t>(idx)].blocks += run;
+        } else {
+          last_index[static_cast<size_t>(mb.member)] = static_cast<int>(ops.size());
+          ops.push_back(MemberOp{mb.member, mb.lbn, run, IoType::kWrite, -1, false});
+        }
+        cursor += run;
+        remaining -= run;
+      }
+      return ops;
+    }
+    case RaidLevel::kRaid5: {
+      const int64_t n = static_cast<int64_t>(members_.size());
+      const int64_t row_span = (n - 1) * unit;  // data blocks per stripe row
+      int64_t cursor = req.lbn;
+      int64_t remaining = req.block_count;
+      while (remaining > 0) {
+        const int64_t row = cursor / row_span;
+        const int64_t in_row = cursor % row_span;
+        const int64_t take = std::min<int64_t>(remaining, row_span - in_row);
+        PlanRaid5RowWrite(row, in_row / unit, (in_row + take - 1) / unit,
+                          row * unit + (in_row % unit), static_cast<int32_t>(take),
+                          &ops);
+        cursor += take;
+        remaining -= take;
+      }
+      return ops;
+    }
+  }
+  return ops;
+}
+
+double RaidArray::Execute(const std::vector<MemberOp>& ops, TimeMs start_ms,
+                          ServiceBreakdown* breakdown) {
+  std::vector<double> ready(members_.size(), start_ms);
+  // Row barrier: phase-2 ops of a row wait for all that row's phase-1 ops.
+  std::vector<std::pair<int64_t, double>> barriers;  // (row, phase-1 done)
+  auto barrier_for = [&barriers](int64_t row) -> double* {
+    for (auto& [r, t] : barriers) {
+      if (r == row) {
+        return &t;
+      }
+    }
+    barriers.emplace_back(row, 0.0);
+    return &barriers.back().second;
+  };
+
+  double end = start_ms;
+  double phase1_end = start_ms;
+  // Phase 1 (reads and barrier-free ops).
+  for (const MemberOp& op : ops) {
+    if (op.phase2) {
+      continue;
+    }
+    Request sub;
+    sub.lbn = op.lbn;
+    sub.block_count = op.blocks;
+    sub.type = op.type;
+    const double t0 = ready[static_cast<size_t>(op.member)];
+    const double done =
+        t0 + members_[static_cast<size_t>(op.member)]->ServiceRequest(sub, t0);
+    ready[static_cast<size_t>(op.member)] = done;
+    if (op.row >= 0) {
+      double* barrier = barrier_for(op.row);
+      *barrier = std::max(*barrier, done);
+    }
+    end = std::max(end, done);
+    phase1_end = std::max(phase1_end, done);
+  }
+  // Phase 2 (writes gated on their row's phase 1).
+  for (const MemberOp& op : ops) {
+    if (!op.phase2) {
+      continue;
+    }
+    Request sub;
+    sub.lbn = op.lbn;
+    sub.block_count = op.blocks;
+    sub.type = op.type;
+    double t0 = ready[static_cast<size_t>(op.member)];
+    if (op.row >= 0) {
+      t0 = std::max(t0, *barrier_for(op.row));
+    }
+    const double done =
+        t0 + members_[static_cast<size_t>(op.member)]->ServiceRequest(sub, t0);
+    ready[static_cast<size_t>(op.member)] = done;
+    end = std::max(end, done);
+  }
+
+  if (breakdown != nullptr) {
+    // Approximate: phase 1 (pre-write stall) as positioning, rest transfer.
+    breakdown->positioning_ms = phase1_end - start_ms;
+    breakdown->transfer_ms = end - phase1_end;
+    breakdown->extra_ms = 0.0;
+  }
+  return end - start_ms;
+}
+
+double RaidArray::ServiceRequest(const Request& req, TimeMs start_ms,
+                                 ServiceBreakdown* breakdown) {
+  MSTK_CHECK(req.lbn >= 0 && req.last_lbn() < capacity_blocks_,
+             "request outside array capacity");
+  const std::vector<MemberOp> ops =
+      req.is_read() ? PlanRead(req) : PlanWrite(req);
+  const double total_ms = Execute(ops, start_ms, breakdown);
+
+  activity_.busy_ms += total_ms;
+  activity_.requests += 1;
+  if (req.is_read()) {
+    activity_.blocks_read += req.block_count;
+  } else {
+    activity_.blocks_written += req.block_count;
+  }
+  return total_ms;
+}
+
+double RaidArray::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
+  // Time until every member involved in the first phase can start moving
+  // data: the max of the members' first-op positioning estimates.
+  const std::vector<MemberOp> ops =
+      req.is_read() ? PlanRead(req) : PlanWrite(req);
+  double worst = 0.0;
+  std::vector<bool> seen(members_.size(), false);
+  for (const MemberOp& op : ops) {
+    if (op.phase2 || seen[static_cast<size_t>(op.member)]) {
+      continue;
+    }
+    seen[static_cast<size_t>(op.member)] = true;
+    Request sub;
+    sub.lbn = op.lbn;
+    sub.block_count = op.blocks;
+    sub.type = op.type;
+    worst = std::max(
+        worst, members_[static_cast<size_t>(op.member)]->EstimatePositioningMs(sub, at_ms));
+  }
+  return worst;
+}
+
+}  // namespace mstk

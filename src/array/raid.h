@@ -1,0 +1,101 @@
+// Multi-device arrays (§6.2): inter-device redundancy over StorageDevices.
+//
+// The paper argues MEMS-based storage is a much better mechanical match for
+// code-based redundancy (RAID-5) than disks because the read-modify-write
+// at the heart of every small parity update costs a sled turnaround instead
+// of a full platter rotation. This module makes that quantitative: a
+// RaidArray composes N member devices (any mix of models) behind the same
+// StorageDevice interface.
+//
+// Timing model: one array request is decomposed into member operations with
+// per-member sequencing and per-stripe-row barriers (parity updates wait
+// for the old-data/old-parity reads of their row). Members operate in
+// parallel otherwise. Like the underlying devices, the array services one
+// request at a time — the host-side queue lives in the Driver.
+#ifndef MSTK_SRC_ARRAY_RAID_H_
+#define MSTK_SRC_ARRAY_RAID_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/storage_device.h"
+
+namespace mstk {
+
+enum class RaidLevel {
+  kRaid0,  // striping, no redundancy
+  kRaid1,  // mirroring (N-way)
+  kRaid5   // rotating parity (left-symmetric)
+};
+
+struct RaidConfig {
+  RaidLevel level = RaidLevel::kRaid5;
+  // Stripe unit in logical blocks (64 blocks = 32 KB).
+  int32_t stripe_unit_blocks = 64;
+};
+
+class RaidArray : public StorageDevice {
+ public:
+  // Members are borrowed and must outlive the array. All members must have
+  // equal capacity (the array uses the minimum).
+  RaidArray(const RaidConfig& config, std::vector<StorageDevice*> members);
+
+  const char* name() const override { return name_.c_str(); }
+  int64_t CapacityBlocks() const override { return capacity_blocks_; }
+  double ServiceRequest(const Request& req, TimeMs start_ms,
+                        ServiceBreakdown* breakdown = nullptr) override;
+  double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
+  void Reset() override;
+
+  const RaidConfig& config() const { return config_; }
+  int member_count() const { return static_cast<int>(members_.size()); }
+
+  // Marks a member failed/repaired; reads reconstruct from the survivors,
+  // writes skip the failed member. At most one failure is tolerated
+  // (RAID-1 with N > 2 tolerates N-1).
+  void SetMemberFailed(int member, bool failed);
+  bool member_failed(int member) const { return failed_[static_cast<size_t>(member)]; }
+
+  // Address math, exposed for tests: maps an array block to (member, lbn).
+  struct MemberBlock {
+    int member;
+    int64_t lbn;
+  };
+  MemberBlock MapRaid0(int64_t array_lbn) const;
+  MemberBlock MapRaid5Data(int64_t array_lbn) const;
+  // Parity member for a RAID-5 stripe row.
+  int Raid5ParityMember(int64_t row) const;
+
+ private:
+  // One member operation within an array request.
+  struct MemberOp {
+    int member;
+    int64_t lbn;
+    int32_t blocks;
+    IoType type;
+    int64_t row;    // stripe row (phase barrier domain); -1 = none
+    bool phase2;    // parity/data write that must wait for its row's reads
+  };
+
+  std::vector<MemberOp> PlanRead(const Request& req) const;
+  std::vector<MemberOp> PlanWrite(const Request& req) const;
+  void PlanRaid5RowWrite(int64_t row, int64_t first_unit, int64_t last_unit,
+                         int64_t lbn_in_row_first, int32_t blocks,
+                         std::vector<MemberOp>* ops) const;
+
+  // Executes the op graph starting at `start_ms`; returns completion time.
+  double Execute(const std::vector<MemberOp>& ops, TimeMs start_ms,
+                 ServiceBreakdown* breakdown);
+
+  RaidConfig config_;
+  std::vector<StorageDevice*> members_;
+  std::vector<bool> failed_;
+  std::string name_;
+  int64_t member_capacity_ = 0;
+  int64_t capacity_blocks_ = 0;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_ARRAY_RAID_H_

@@ -1,0 +1,93 @@
+// Host-side block cache with sequential readahead (§2.4.11).
+//
+// The paper notes that speed-matching buffers and sequential prefetching
+// matter for MEMS-based storage just as for disks, while most block *reuse*
+// is captured by host memory. This decorator wraps any StorageDevice with
+// an LRU block cache:
+//
+//   * reads are served from the cache when possible; missing runs go to the
+//     backing device (coalesced into contiguous backing reads),
+//   * sequential read streams trigger readahead beyond the requested range,
+//   * writes are either write-through (backing write immediately) or
+//     write-back (dirty blocks flushed when evicted or on FlushAll).
+//
+// Timing: cache hits cost `hit_overhead_ms`; everything else is the backing
+// device's service time, charged synchronously to the triggering request.
+#ifndef MSTK_SRC_CACHE_BLOCK_CACHE_H_
+#define MSTK_SRC_CACHE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/core/storage_device.h"
+
+namespace mstk {
+
+enum class WritePolicy { kWriteThrough, kWriteBack };
+
+struct BlockCacheConfig {
+  int64_t capacity_blocks = 131072;  // 64 MB
+  int32_t readahead_blocks = 0;      // 0 disables prefetch
+  WritePolicy write_policy = WritePolicy::kWriteThrough;
+  double hit_overhead_ms = 0.005;    // DRAM + software path per request
+};
+
+struct BlockCacheStats {
+  int64_t read_requests = 0;
+  int64_t write_requests = 0;
+  int64_t blocks_hit = 0;
+  int64_t blocks_missed = 0;
+  int64_t blocks_prefetched = 0;
+  int64_t evictions = 0;
+  int64_t dirty_flushes = 0;  // dirty blocks written back on eviction/flush
+
+  double HitRate() const {
+    const int64_t total = blocks_hit + blocks_missed;
+    return total > 0 ? static_cast<double>(blocks_hit) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class BlockCache : public StorageDevice {
+ public:
+  // `backing` is borrowed and must outlive the cache.
+  BlockCache(const BlockCacheConfig& config, StorageDevice* backing);
+
+  const char* name() const override { return "cache"; }
+  int64_t CapacityBlocks() const override { return backing_->CapacityBlocks(); }
+  double ServiceRequest(const Request& req, TimeMs start_ms,
+                        ServiceBreakdown* breakdown = nullptr) override;
+  double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
+  void Reset() override;
+
+  // Writes back all dirty blocks; returns the time it took (ms).
+  double FlushAll(TimeMs start_ms);
+
+  const BlockCacheStats& stats() const { return stats_; }
+  int64_t resident_blocks() const { return static_cast<int64_t>(entries_.size()); }
+
+ private:
+  struct Entry {
+    std::list<int64_t>::iterator lru_pos;
+    bool dirty;
+  };
+
+  bool Contains(int64_t lbn) const { return entries_.find(lbn) != entries_.end(); }
+  void Touch(int64_t lbn);
+  // Inserts (or refreshes) a block; evictions may issue backing writes,
+  // whose time is added to *cost_ms.
+  void Insert(int64_t lbn, bool dirty, TimeMs now_ms, double* cost_ms);
+  double BackingRead(int64_t lbn, int32_t blocks, TimeMs at_ms);
+  double BackingWrite(int64_t lbn, int32_t blocks, TimeMs at_ms);
+
+  BlockCacheConfig config_;
+  StorageDevice* backing_;
+  BlockCacheStats stats_;
+  std::list<int64_t> lru_;  // front = most recent
+  std::unordered_map<int64_t, Entry> entries_;
+  int64_t last_read_end_ = -1;  // sequential-stream detector
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_CACHE_BLOCK_CACHE_H_

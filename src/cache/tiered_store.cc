@@ -1,0 +1,185 @@
+#include "src/cache/tiered_store.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace mstk {
+
+TieredStore::TieredStore(const TieredStoreConfig& config, StorageDevice* fast,
+                         StorageDevice* slow)
+    : config_(config), fast_(fast), slow_(slow) {
+  MSTK_CHECK(fast_ != nullptr && slow_ != nullptr, "tiered store needs two devices");
+  MSTK_CHECK(config_.extent_blocks > 0, "bad extent size");
+  const int64_t usable = config_.fast_capacity_blocks > 0
+                             ? std::min(config_.fast_capacity_blocks,
+                                        fast_->CapacityBlocks())
+                             : fast_->CapacityBlocks();
+  fast_extents_ = usable / config_.extent_blocks;
+  MSTK_CHECK(fast_extents_ > 0, "fast tier smaller than one extent");
+  Reset();
+}
+
+void TieredStore::Reset() {
+  fast_->Reset();
+  slow_->Reset();
+  stats_ = TieredStoreStats{};
+  map_.clear();
+  lru_.clear();
+  free_slots_.clear();
+  for (int64_t s = 0; s < fast_extents_; ++s) {
+    free_slots_.push_back(s);
+  }
+  activity_ = DeviceActivity{};
+}
+
+double TieredStore::EvictOne(TimeMs now) {
+  MSTK_CHECK(!lru_.empty(), "evicting from an empty fast tier");
+  const int64_t victim = lru_.back();
+  lru_.pop_back();
+  auto it = map_.find(victim);
+  double cost = 0.0;
+  if (it->second.dirty) {
+    // Demote: read from fast, write to slow.
+    Request rd;
+    rd.lbn = it->second.fast_slot * config_.extent_blocks;
+    rd.block_count = config_.extent_blocks;
+    cost += fast_->ServiceRequest(rd, now);
+    Request wr;
+    wr.type = IoType::kWrite;
+    wr.lbn = victim * config_.extent_blocks;
+    wr.block_count = config_.extent_blocks;
+    cost += slow_->ServiceRequest(wr, now + cost);
+    ++stats_.demotions;
+  }
+  free_slots_.push_back(it->second.fast_slot);
+  map_.erase(it);
+  return cost;
+}
+
+double TieredStore::EnsureResident(int64_t ext, bool for_write, bool fetch_from_slow,
+                                   TimeMs now) {
+  auto it = map_.find(ext);
+  if (it != map_.end()) {
+    ++stats_.extent_hits;
+    it->second.dirty = it->second.dirty || for_write;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return 0.0;
+  }
+  ++stats_.extent_misses;
+  double cost = 0.0;
+  if (free_slots_.empty()) {
+    cost += EvictOne(now);
+  }
+  const int64_t slot = free_slots_.front();
+  free_slots_.pop_front();
+  if (fetch_from_slow) {
+    // Promote: read the extent from the slow tier, write it to the fast.
+    Request rd;
+    rd.lbn = ext * config_.extent_blocks;
+    rd.block_count = config_.extent_blocks;
+    cost += slow_->ServiceRequest(rd, now + cost);
+    Request wr;
+    wr.type = IoType::kWrite;
+    wr.lbn = slot * config_.extent_blocks;
+    wr.block_count = config_.extent_blocks;
+    cost += fast_->ServiceRequest(wr, now + cost);
+    ++stats_.promotions;
+  }
+  lru_.push_front(ext);
+  map_.emplace(ext, Resident{slot, for_write, lru_.begin()});
+  return cost;
+}
+
+double TieredStore::ServiceRequest(const Request& req, TimeMs start_ms,
+                                   ServiceBreakdown* breakdown) {
+  MSTK_CHECK(req.lbn >= 0 && req.last_lbn() < CapacityBlocks(),
+             "request outside device capacity");
+  ++stats_.requests;
+  double cost = 0.0;
+
+  const bool bypass = config_.bypass_blocks > 0 && req.block_count >= config_.bypass_blocks;
+  if (bypass) {
+    ++stats_.bypasses;
+    // Large requests stream straight from/to the slow tier. Resident dirty
+    // extents in the range must be demoted first so the slow tier is
+    // current; bypass *writes* additionally invalidate resident copies,
+    // which would otherwise go stale.
+    const int64_t first = req.lbn / config_.extent_blocks;
+    const int64_t last = req.last_lbn() / config_.extent_blocks;
+    for (int64_t ext = first; ext <= last; ++ext) {
+      auto it = map_.find(ext);
+      if (it == map_.end()) {
+        continue;
+      }
+      if (it->second.dirty) {
+        Request rd;
+        rd.lbn = it->second.fast_slot * config_.extent_blocks;
+        rd.block_count = config_.extent_blocks;
+        cost += fast_->ServiceRequest(rd, start_ms + cost);
+        Request wr;
+        wr.type = IoType::kWrite;
+        wr.lbn = ext * config_.extent_blocks;
+        wr.block_count = config_.extent_blocks;
+        cost += slow_->ServiceRequest(wr, start_ms + cost);
+        it->second.dirty = false;
+        ++stats_.demotions;
+      }
+      if (!req.is_read()) {
+        lru_.erase(it->second.lru_pos);
+        free_slots_.push_back(it->second.fast_slot);
+        map_.erase(it);
+      }
+    }
+    Request direct = req;
+    cost += slow_->ServiceRequest(direct, start_ms + cost);
+  } else {
+    // Touch every covered extent; then perform the access on the fast tier.
+    const int64_t first = req.lbn / config_.extent_blocks;
+    const int64_t last = req.last_lbn() / config_.extent_blocks;
+    const bool is_write = !req.is_read();
+    for (int64_t ext = first; ext <= last; ++ext) {
+      // A whole-extent overwrite needs no fetch; everything else does.
+      const bool whole = is_write && req.lbn <= ext * config_.extent_blocks &&
+                         req.last_lbn() >= (ext + 1) * config_.extent_blocks - 1;
+      cost += EnsureResident(ext, is_write, /*fetch_from_slow=*/!whole, start_ms + cost);
+    }
+    // The access itself, on the fast device, extent by extent (resident
+    // slots need not be physically adjacent).
+    for (int64_t ext = first; ext <= last; ++ext) {
+      const Resident& r = map_.at(ext);
+      const int64_t lo = std::max(req.lbn, ext * config_.extent_blocks);
+      const int64_t hi = std::min<int64_t>(req.last_lbn(), (ext + 1) * config_.extent_blocks - 1);
+      Request sub;
+      sub.type = req.type;
+      sub.lbn = r.fast_slot * config_.extent_blocks + (lo - ext * config_.extent_blocks);
+      sub.block_count = static_cast<int32_t>(hi - lo + 1);
+      cost += fast_->ServiceRequest(sub, start_ms + cost);
+    }
+  }
+
+  if (breakdown != nullptr) {
+    *breakdown = ServiceBreakdown{0.0, cost, 0.0};
+  }
+  activity_.busy_ms += cost;
+  activity_.requests += 1;
+  if (req.is_read()) {
+    activity_.blocks_read += req.block_count;
+  } else {
+    activity_.blocks_written += req.block_count;
+  }
+  return cost;
+}
+
+double TieredStore::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
+  const int64_t first = req.lbn / config_.extent_blocks;
+  if (map_.find(first) != map_.end()) {
+    Request sub = req;
+    sub.lbn = map_.at(first).fast_slot * config_.extent_blocks +
+              req.lbn % config_.extent_blocks;
+    return fast_->EstimatePositioningMs(sub, at_ms);
+  }
+  return slow_->EstimatePositioningMs(req, at_ms);
+}
+
+}  // namespace mstk

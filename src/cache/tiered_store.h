@@ -1,0 +1,92 @@
+// Tiered store: a fast device caching a slow one (§8 / [SGNG00]).
+//
+// The paper's conclusion points at MEMS-based storage's role in the memory
+// hierarchy; the natural first system is MEMS-as-disk-cache: a small, fast
+// MEMS device holding the hot blocks of a large disk. This component wraps
+// a (fast, slow) device pair behind the StorageDevice interface:
+//
+//   * reads that hit the fast tier are serviced there; misses go to the
+//     slow tier and are then promoted (written) to the fast tier,
+//   * writes go to the fast tier (write-back); dirty blocks are demoted to
+//     the slow tier when evicted,
+//   * placement on the fast tier is managed in fixed-size extents with LRU
+//     replacement, so promoted data stays physically clustered and the
+//     fast tier's own positioning stays cheap.
+//
+// Promotion/demotion I/O is charged synchronously to the triggering
+// request (a conservative, simple timing model).
+#ifndef MSTK_SRC_CACHE_TIERED_STORE_H_
+#define MSTK_SRC_CACHE_TIERED_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/core/storage_device.h"
+
+namespace mstk {
+
+struct TieredStoreConfig {
+  // Granularity of placement on the fast tier, in blocks (64 = 32 KB).
+  int32_t extent_blocks = 64;
+  // Portion of the fast device used (defaults to all of it).
+  int64_t fast_capacity_blocks = 0;
+  // Bypass the fast tier for requests at least this large (streams gain
+  // nothing from the cache; 0 disables bypass).
+  int32_t bypass_blocks = 0;
+};
+
+struct TieredStoreStats {
+  int64_t requests = 0;
+  int64_t extent_hits = 0;
+  int64_t extent_misses = 0;
+  int64_t promotions = 0;   // extents copied slow -> fast
+  int64_t demotions = 0;    // dirty extents copied fast -> slow
+  int64_t bypasses = 0;     // large requests sent straight to the slow tier
+
+  double HitRate() const {
+    const int64_t total = extent_hits + extent_misses;
+    return total > 0 ? static_cast<double>(extent_hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class TieredStore : public StorageDevice {
+ public:
+  // Both devices are borrowed. Capacity is the slow device's.
+  TieredStore(const TieredStoreConfig& config, StorageDevice* fast, StorageDevice* slow);
+
+  const char* name() const override { return "tiered"; }
+  int64_t CapacityBlocks() const override { return slow_->CapacityBlocks(); }
+  double ServiceRequest(const Request& req, TimeMs start_ms,
+                        ServiceBreakdown* breakdown = nullptr) override;
+  double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
+  void Reset() override;
+
+  const TieredStoreStats& stats() const { return stats_; }
+  int64_t resident_extents() const { return static_cast<int64_t>(map_.size()); }
+
+ private:
+  struct Resident {
+    int64_t fast_slot;  // extent index on the fast tier
+    bool dirty;
+    std::list<int64_t>::iterator lru_pos;
+  };
+
+  // Ensures the extent containing `ext` is resident; returns the time cost.
+  double EnsureResident(int64_t ext, bool for_write, bool fetch_from_slow, TimeMs now);
+  double EvictOne(TimeMs now);
+
+  TieredStoreConfig config_;
+  StorageDevice* fast_;
+  StorageDevice* slow_;
+  TieredStoreStats stats_;
+  int64_t fast_extents_ = 0;
+  std::unordered_map<int64_t, Resident> map_;  // slow-extent -> residency
+  std::list<int64_t> lru_;                     // front = most recent
+  std::list<int64_t> free_slots_;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_CACHE_TIERED_STORE_H_

@@ -1,0 +1,57 @@
+#include "src/core/background.h"
+
+#include <utility>
+
+namespace mstk {
+
+BackgroundRunner::BackgroundRunner(Simulator* sim, Driver* driver,
+                                   std::vector<Request> tasks, double idle_delay_ms,
+                                   int64_t id_base)
+    : sim_(sim), driver_(driver), idle_delay_ms_(idle_delay_ms), id_base_(id_base) {
+  int64_t seq = 0;
+  for (Request& task : tasks) {
+    task.id = id_base_ + seq++;
+    tasks_.push_back(task);
+  }
+  driver_->AddIdleListener([this](TimeMs now) { OnIdle(now); });
+  driver_->AddActiveListener([this](TimeMs) { ++idle_epoch_; });
+  driver_->AddCompletionListener([this](const Request& req, TimeMs now) {
+    if (IsBackgroundId(req.id)) {
+      --in_flight_;
+      ++completed_;
+      last_completion_ms_ = now;
+    }
+  });
+  // Kick off in case the device starts idle and no foreground ever arrives.
+  sim_->ScheduleAfter(idle_delay_ms_, [this] {
+    if (!driver_->device_busy() && driver_->queued() == 0) {
+      OnIdle(sim_->NowMs());
+    }
+  });
+}
+
+void BackgroundRunner::OnIdle(TimeMs now_ms) {
+  (void)now_ms;
+  if (tasks_.empty()) {
+    return;
+  }
+  const int64_t epoch = ++idle_epoch_;
+  auto submit = [this, epoch] {
+    // Only if the device stayed idle for the whole hysteresis window.
+    if (idle_epoch_ != epoch || driver_->device_busy() || tasks_.empty()) {
+      return;
+    }
+    Request task = tasks_.front();
+    tasks_.pop_front();
+    task.arrival_ms = sim_->NowMs();
+    ++in_flight_;
+    driver_->Submit(task);
+  };
+  if (idle_delay_ms_ <= 0.0) {
+    submit();
+  } else {
+    sim_->ScheduleAfter(idle_delay_ms_, submit);
+  }
+}
+
+}  // namespace mstk

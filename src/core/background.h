@@ -1,0 +1,53 @@
+// Idle-time background work (§6.1's tip-region rebuilds; also layout
+// reshuffling, scrubbing, log cleaning).
+//
+// The runner holds a queue of low-priority requests and injects one into
+// the driver whenever the device has been idle for `idle_delay_ms`
+// (hysteresis against bursty foreground traffic). Injection is
+// non-preemptive: an in-flight background request delays at most one
+// foreground request by its own service time.
+#ifndef MSTK_SRC_CORE_BACKGROUND_H_
+#define MSTK_SRC_CORE_BACKGROUND_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/core/driver.h"
+#include "src/sim/simulator.h"
+
+namespace mstk {
+
+class BackgroundRunner {
+ public:
+  // Registers listeners on `driver`; both pointers are borrowed. Tasks are
+  // issued in order. Background request ids are offset by `id_base` so the
+  // experiment can tell them apart in completion listeners.
+  BackgroundRunner(Simulator* sim, Driver* driver, std::vector<Request> tasks,
+                   double idle_delay_ms, int64_t id_base = 1LL << 40);
+
+  int64_t completed() const { return completed_; }
+  int64_t remaining() const { return static_cast<int64_t>(tasks_.size()); }
+  bool Done() const { return tasks_.empty() && in_flight_ == 0; }
+  TimeMs last_completion_ms() const { return last_completion_ms_; }
+
+  // True if `id` belongs to a background request issued by this runner.
+  bool IsBackgroundId(int64_t id) const { return id >= id_base_; }
+
+ private:
+  void OnIdle(TimeMs now_ms);
+
+  Simulator* sim_;
+  Driver* driver_;
+  std::deque<Request> tasks_;
+  double idle_delay_ms_;
+  int64_t id_base_;
+  int64_t completed_ = 0;
+  int64_t in_flight_ = 0;
+  int64_t idle_epoch_ = 0;
+  TimeMs last_completion_ms_ = 0.0;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_CORE_BACKGROUND_H_

@@ -1,0 +1,57 @@
+#include "src/core/closed_loop.h"
+
+#include <cassert>
+
+#include "src/core/driver.h"
+#include "src/sim/simulator.h"
+
+namespace mstk {
+
+ClosedLoopResult RunClosedLoop(StorageDevice* device, IoScheduler* scheduler,
+                               const std::function<Request(int64_t)>& next_request,
+                               const ClosedLoopConfig& config) {
+  assert(config.mpl >= 1);
+  device->Reset();
+  scheduler->Reset();
+
+  Simulator sim;
+  ClosedLoopResult result;
+  Driver driver(&sim, device, scheduler, &result.metrics);
+
+  int64_t submitted = 0;
+  auto submit_next = [&](auto&& self) -> void {
+    if (submitted >= config.request_count) {
+      return;
+    }
+    Request req = next_request(submitted);
+    req.id = submitted++;
+    req.arrival_ms = sim.NowMs();
+    driver.Submit(req);
+    (void)self;
+  };
+
+  driver.set_on_complete([&](const Request&, TimeMs) {
+    if (submitted >= config.request_count) {
+      return;
+    }
+    if (config.think_ms > 0.0) {
+      sim.ScheduleAfter(config.think_ms, [&] { submit_next(submit_next); });
+    } else {
+      submit_next(submit_next);
+    }
+  });
+
+  // Prime the system with `mpl` outstanding requests.
+  const int initial = static_cast<int>(
+      std::min<int64_t>(config.mpl, config.request_count));
+  for (int i = 0; i < initial; ++i) {
+    sim.ScheduleAt(0.0, [&] { submit_next(submit_next); });
+  }
+  sim.Run();
+
+  result.makespan_ms = result.metrics.last_completion_ms();
+  result.activity = device->activity();
+  return result;
+}
+
+}  // namespace mstk

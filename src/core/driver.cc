@@ -1,0 +1,49 @@
+#include "src/core/driver.h"
+
+#include <utility>
+
+namespace mstk {
+
+Driver::Driver(Simulator* sim, StorageDevice* device, IoScheduler* scheduler,
+               MetricsCollector* metrics)
+    : sim_(sim), device_(device), scheduler_(scheduler), metrics_(metrics) {}
+
+void Driver::Submit(const Request& req) {
+  metrics_->RecordArrival(req, sim_->NowMs());
+  scheduler_->Add(req);
+  TryDispatch();
+}
+
+void Driver::TryDispatch() {
+  if (busy_ || scheduler_->Empty()) {
+    return;
+  }
+  for (const auto& listener : on_active_) {
+    listener(sim_->NowMs());
+  }
+  const int64_t depth = scheduler_->size();
+  const TimeMs now = sim_->NowMs();
+  const Request req = scheduler_->Pop(now);
+  metrics_->RecordDispatch(req, now, depth);
+
+  const double penalty = pending_penalty_ms_;
+  pending_penalty_ms_ = 0.0;
+  const double service_ms = penalty + device_->ServiceRequest(req, now + penalty);
+  busy_ = true;
+  sim_->ScheduleAfter(service_ms, [this, req, service_ms] {
+    busy_ = false;
+    metrics_->RecordCompletion(req, sim_->NowMs(), service_ms);
+    for (const auto& listener : on_complete_) {
+      listener(req, sim_->NowMs());
+    }
+    if (scheduler_->Empty()) {
+      for (const auto& listener : on_idle_) {
+        listener(sim_->NowMs());
+      }
+    } else {
+      TryDispatch();
+    }
+  });
+}
+
+}  // namespace mstk

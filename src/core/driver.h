@@ -1,0 +1,75 @@
+// Queueing driver: the host-side I/O path tying workload, scheduler, and
+// device together inside the discrete-event simulation.
+//
+// Open-loop: arrivals come from pre-generated request streams scheduled as
+// simulator events (see ExperimentRunner). The driver keeps the device busy
+// with one request at a time — the single-spindle / single-sled model the
+// paper's experiments use.
+#ifndef MSTK_SRC_CORE_DRIVER_H_
+#define MSTK_SRC_CORE_DRIVER_H_
+
+#include <functional>
+
+#include "src/core/io_scheduler.h"
+#include "src/core/metrics.h"
+#include "src/core/request.h"
+#include "src/core/storage_device.h"
+#include "src/sim/simulator.h"
+
+namespace mstk {
+
+class Driver {
+ public:
+  // All pointers are borrowed and must outlive the driver.
+  Driver(Simulator* sim, StorageDevice* device, IoScheduler* scheduler,
+         MetricsCollector* metrics);
+
+  // Submits a request at the current virtual time.
+  void Submit(const Request& req);
+
+  bool device_busy() const { return busy_; }
+  int64_t queued() const { return scheduler_->size(); }
+
+  // Fires when a request completes (closed-loop workloads, power policies,
+  // background work). Multiple listeners fire in registration order.
+  void AddCompletionListener(std::function<void(const Request&, TimeMs now_ms)> cb) {
+    on_complete_.push_back(std::move(cb));
+  }
+  // Fires when the device transitions busy -> idle with an empty queue
+  // (power-management idle detection, background-work injection).
+  void AddIdleListener(std::function<void(TimeMs now_ms)> cb) {
+    on_idle_.push_back(std::move(cb));
+  }
+  // Fires when the device transitions idle -> busy.
+  void AddActiveListener(std::function<void(TimeMs now_ms)> cb) {
+    on_active_.push_back(std::move(cb));
+  }
+
+  // Single-listener aliases kept for call-site brevity.
+  void set_on_complete(std::function<void(const Request&, TimeMs)> cb) {
+    AddCompletionListener(std::move(cb));
+  }
+  void set_on_idle(std::function<void(TimeMs)> cb) { AddIdleListener(std::move(cb)); }
+  void set_on_active(std::function<void(TimeMs)> cb) { AddActiveListener(std::move(cb)); }
+
+  // Extra latency (ms) to charge before the next dispatch — used by power
+  // policies to model restart-from-idle penalties. Consumed by one dispatch.
+  void AddDispatchPenalty(double penalty_ms) { pending_penalty_ms_ += penalty_ms; }
+
+ private:
+  void TryDispatch();
+
+  Simulator* sim_;
+  StorageDevice* device_;
+  IoScheduler* scheduler_;
+  MetricsCollector* metrics_;
+  std::vector<std::function<void(const Request&, TimeMs)>> on_complete_;
+  std::vector<std::function<void(TimeMs)>> on_idle_;
+  std::vector<std::function<void(TimeMs)>> on_active_;
+  bool busy_ = false;
+  double pending_penalty_ms_ = 0.0;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_CORE_DRIVER_H_

@@ -1,0 +1,25 @@
+#include "src/core/experiment.h"
+
+#include "src/core/driver.h"
+#include "src/sim/simulator.h"
+
+namespace mstk {
+
+ExperimentResult RunOpenLoop(StorageDevice* device, IoScheduler* scheduler,
+                             const std::vector<Request>& requests) {
+  device->Reset();
+  scheduler->Reset();
+
+  Simulator sim;
+  ExperimentResult result;
+  Driver driver(&sim, device, scheduler, &result.metrics);
+  for (const Request& req : requests) {
+    sim.ScheduleAt(req.arrival_ms, [&driver, req] { driver.Submit(req); });
+  }
+  sim.Run();
+  result.makespan_ms = result.metrics.last_completion_ms();
+  result.activity = device->activity();
+  return result;
+}
+
+}  // namespace mstk

@@ -1,0 +1,34 @@
+// Convenience harness: run a pre-generated request stream through
+// driver + scheduler + device and collect metrics. Used by benches, tests,
+// and examples.
+#ifndef MSTK_SRC_CORE_EXPERIMENT_H_
+#define MSTK_SRC_CORE_EXPERIMENT_H_
+
+#include <vector>
+
+#include "src/core/io_scheduler.h"
+#include "src/core/metrics.h"
+#include "src/core/request.h"
+#include "src/core/storage_device.h"
+
+namespace mstk {
+
+struct ExperimentResult {
+  MetricsCollector metrics;
+  // Virtual time of the last completion.
+  TimeMs makespan_ms = 0.0;
+  DeviceActivity activity;
+
+  double MeanResponseMs() const { return metrics.response_time().mean(); }
+  double MeanServiceMs() const { return metrics.service_time().mean(); }
+  double ResponseScv() const { return metrics.ResponseScv(); }
+};
+
+// Runs the open-loop experiment: every request is submitted at its
+// arrival_ms. The device and scheduler are Reset() first.
+ExperimentResult RunOpenLoop(StorageDevice* device, IoScheduler* scheduler,
+                             const std::vector<Request>& requests);
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_CORE_EXPERIMENT_H_

@@ -1,0 +1,34 @@
+// Request scheduler interface (the paper's §4 policies implement this).
+#ifndef MSTK_SRC_CORE_IO_SCHEDULER_H_
+#define MSTK_SRC_CORE_IO_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "src/core/request.h"
+#include "src/sim/units.h"
+
+namespace mstk {
+
+class IoScheduler {
+ public:
+  virtual ~IoScheduler() = default;
+
+  virtual const char* name() const = 0;
+
+  // Adds a pending request.
+  virtual void Add(const Request& req) = 0;
+
+  virtual bool Empty() const = 0;
+  virtual int64_t size() const = 0;
+
+  // Removes and returns the request to dispatch next, given the current
+  // virtual time. Requires !Empty().
+  virtual Request Pop(TimeMs now_ms) = 0;
+
+  // Clears all pending requests and per-run state.
+  virtual void Reset() = 0;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_CORE_IO_SCHEDULER_H_

@@ -1,0 +1,23 @@
+#include "src/core/metrics.h"
+
+namespace mstk {
+
+void MetricsCollector::RecordArrival(const Request& req, TimeMs now_ms) {
+  (void)req;
+  (void)now_ms;
+}
+
+void MetricsCollector::RecordDispatch(const Request& req, TimeMs now_ms, int64_t queue_depth) {
+  queue_time_.Add(now_ms - req.arrival_ms);
+  queue_depth_.Add(static_cast<double>(queue_depth));
+}
+
+void MetricsCollector::RecordCompletion(const Request& req, TimeMs now_ms, double service_ms) {
+  const double response_ms = now_ms - req.arrival_ms;
+  response_time_.Add(response_ms);
+  response_samples_.Add(response_ms);
+  service_time_.Add(service_ms);
+  last_completion_ms_ = now_ms;
+}
+
+}  // namespace mstk

@@ -1,0 +1,49 @@
+// Per-run metrics collection: the measurements Figs 5-8 report.
+#ifndef MSTK_SRC_CORE_METRICS_H_
+#define MSTK_SRC_CORE_METRICS_H_
+
+#include <cstdint>
+
+#include "src/core/request.h"
+#include "src/sim/stats.h"
+#include "src/sim/units.h"
+
+namespace mstk {
+
+class MetricsCollector {
+ public:
+  // Called by the driver.
+  void RecordArrival(const Request& req, TimeMs now_ms);
+  void RecordDispatch(const Request& req, TimeMs now_ms, int64_t queue_depth);
+  void RecordCompletion(const Request& req, TimeMs now_ms, double service_ms);
+
+  // Response time = queue time + service time (the Fig 5a/6a metric).
+  const SummaryStats& response_time() const { return response_time_; }
+  // Service time alone.
+  const SummaryStats& service_time() const { return service_time_; }
+  // Queue time alone.
+  const SummaryStats& queue_time() const { return queue_time_; }
+  // Queue depth observed at each dispatch.
+  const SummaryStats& queue_depth() const { return queue_depth_; }
+
+  // sigma^2/mu^2 of response time (the Fig 5b/6b starvation metric).
+  double ResponseScv() const { return response_time_.SquaredCoefficientOfVariation(); }
+
+  // Exact response-time quantile (e.g. 0.99 for tail latency).
+  double ResponseQuantile(double q) { return response_samples_.Quantile(q); }
+
+  int64_t completed() const { return response_time_.count(); }
+  TimeMs last_completion_ms() const { return last_completion_ms_; }
+
+ private:
+  SummaryStats response_time_;
+  SummaryStats service_time_;
+  SummaryStats queue_time_;
+  SummaryStats queue_depth_;
+  SampleSet response_samples_;
+  TimeMs last_completion_ms_ = 0.0;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_CORE_METRICS_H_

@@ -1,0 +1,30 @@
+// I/O request representation shared by workloads, schedulers, and devices.
+#ifndef MSTK_SRC_CORE_REQUEST_H_
+#define MSTK_SRC_CORE_REQUEST_H_
+
+#include <cstdint>
+
+#include "src/sim/units.h"
+
+namespace mstk {
+
+enum class IoType { kRead, kWrite };
+
+// One logical I/O: `block_count` logical blocks (512 B each) starting at
+// logical block number `lbn`, arriving at `arrival_ms` of virtual time.
+struct Request {
+  int64_t id = 0;
+  IoType type = IoType::kRead;
+  int64_t lbn = 0;
+  int32_t block_count = 1;
+
+  TimeMs arrival_ms = 0.0;
+
+  bool is_read() const { return type == IoType::kRead; }
+  int64_t last_lbn() const { return lbn + block_count - 1; }
+  int64_t bytes() const { return static_cast<int64_t>(block_count) * kBlockBytes; }
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_CORE_REQUEST_H_

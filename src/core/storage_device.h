@@ -1,0 +1,66 @@
+// Abstract storage device driven by the simulation.
+//
+// Both device models (src/mems, src/disk) implement this interface; the
+// queueing driver and the schedulers are device-agnostic, exactly as the
+// paper maps MEMS-based storage behind a disk-like (SCSI-like) interface.
+#ifndef MSTK_SRC_CORE_STORAGE_DEVICE_H_
+#define MSTK_SRC_CORE_STORAGE_DEVICE_H_
+
+#include <cstdint>
+
+#include "src/core/request.h"
+#include "src/sim/units.h"
+
+namespace mstk {
+
+// Per-request service time decomposition (all in ms).
+struct ServiceBreakdown {
+  double positioning_ms = 0.0;  // initial seek (+ settle, + rotational latency)
+  double transfer_ms = 0.0;     // media transfer
+  double extra_ms = 0.0;        // mid-transfer turnarounds / head & track switches
+
+  double total_ms() const { return positioning_ms + transfer_ms + extra_ms; }
+};
+
+// Cumulative activity counters, for the power/energy accounting in §7.
+struct DeviceActivity {
+  double busy_ms = 0.0;
+  double positioning_ms = 0.0;
+  double transfer_ms = 0.0;
+  int64_t requests = 0;
+  int64_t blocks_read = 0;
+  int64_t blocks_written = 0;
+
+  int64_t bytes_moved() const { return (blocks_read + blocks_written) * kBlockBytes; }
+};
+
+class StorageDevice {
+ public:
+  virtual ~StorageDevice() = default;
+
+  virtual const char* name() const = 0;
+  virtual int64_t CapacityBlocks() const = 0;
+
+  // Services `req` starting at virtual time `start_ms`; advances the device's
+  // mechanical state and returns the service duration in ms. When `breakdown`
+  // is non-null it receives the component times.
+  virtual double ServiceRequest(const Request& req, TimeMs start_ms,
+                                ServiceBreakdown* breakdown = nullptr) = 0;
+
+  // Positioning-delay estimate for greedy scheduling (SPTF): time until the
+  // media transfer for `req` could begin if it were dispatched at `at_ms`.
+  // Const: must not change device state.
+  virtual double EstimatePositioningMs(const Request& req, TimeMs at_ms) const = 0;
+
+  // Restores initial mechanical state and clears activity counters.
+  virtual void Reset() = 0;
+
+  const DeviceActivity& activity() const { return activity_; }
+
+ protected:
+  DeviceActivity activity_;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_CORE_STORAGE_DEVICE_H_

@@ -1,0 +1,59 @@
+// Conventional disk model (Atlas 10K-like): seek curve + constant rotation
+// + zoned transfer, with track/cylinder skews. Rotational position is
+// derived from absolute virtual time (the platters spin independently of
+// ongoing accesses — the key §2.4.8 contrast with MEMS devices).
+#ifndef MSTK_SRC_DISK_DISK_DEVICE_H_
+#define MSTK_SRC_DISK_DISK_DEVICE_H_
+
+#include <cstdint>
+
+#include "src/core/storage_device.h"
+#include "src/disk/disk_geometry.h"
+#include "src/disk/seek_curve.h"
+#include "src/sim/rng.h"
+
+namespace mstk {
+
+class DiskDevice : public StorageDevice {
+ public:
+  explicit DiskDevice(const DiskParams& params = DiskParams{});
+
+  const char* name() const override { return "disk"; }
+  int64_t CapacityBlocks() const override { return geometry_.capacity_blocks(); }
+  double ServiceRequest(const Request& req, TimeMs start_ms,
+                        ServiceBreakdown* breakdown = nullptr) override;
+  double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
+  void Reset() override;
+
+  // Seek errors (§6.1.3): with probability `rate` the head settles on the
+  // wrong track — a short re-seek plus however much rotation is lost.
+  void EnableSeekErrors(double rate, uint64_t seed);
+
+  const DiskParams& params() const { return geometry_.params(); }
+  const DiskGeometry& geometry() const { return geometry_; }
+  const SeekCurve& seek_curve() const { return seek_curve_; }
+
+  int32_t current_cylinder() const { return cylinder_; }
+  int32_t current_head() const { return head_; }
+
+  // Mechanical positioning probe: seek + rotational latency to reach the
+  // first sector of `addr` starting from the current state at time `at_ms`.
+  double PositioningToMs(const DiskAddress& addr, TimeMs at_ms) const;
+
+ private:
+  // Rotational fraction [0,1) at absolute time t.
+  double PhaseAt(TimeMs t_ms) const;
+
+  DiskGeometry geometry_;
+  SeekCurve seek_curve_;
+  double rev_ms_;
+  int32_t cylinder_ = 0;
+  int32_t head_ = 0;
+  double seek_error_rate_ = 0.0;
+  uint64_t seek_error_seed_ = 0;
+  Rng seek_error_rng_{0};
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_DISK_DISK_DEVICE_H_

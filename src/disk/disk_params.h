@@ -1,0 +1,36 @@
+// Conventional disk parameters, defaulted to approximate the Quantum
+// Atlas 10K the paper uses as its reference disk [Qua99]:
+// 10 025 RPM, ~6 ms revolution, 334 sectors/track in the outer zone and 229
+// in the inner (the ~46% banded-recording spread quoted in §2.4.12),
+// 0.8 ms single-cylinder / ~5.0 ms average / ~10.9 ms full-stroke seeks,
+// ~25 s spin-up (§6.3).
+#ifndef MSTK_SRC_DISK_DISK_PARAMS_H_
+#define MSTK_SRC_DISK_DISK_PARAMS_H_
+
+#include <cstdint>
+
+namespace mstk {
+
+struct DiskParams {
+  double rpm = 10025.0;
+  int cylinders = 10042;
+  int heads = 6;
+  int zones = 24;
+  int outer_sectors_per_track = 334;
+  int inner_sectors_per_track = 229;
+
+  double single_cylinder_seek_ms = 0.8;
+  double average_seek_ms = 5.0;
+  double full_stroke_seek_ms = 10.9;
+  // Head switch (including settle); overlaps the seek when both occur.
+  double head_switch_ms = 0.8;
+
+  // Spindle spin-up from rest (power management, §6.3/§7).
+  double spinup_seconds = 25.0;
+
+  double revolution_ms() const { return 60000.0 / rpm; }
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_DISK_DISK_PARAMS_H_

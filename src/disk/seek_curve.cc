@@ -1,0 +1,35 @@
+#include "src/disk/seek_curve.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mstk {
+
+SeekCurve::SeekCurve(int cylinders, double single_ms, double average_ms, double full_ms) {
+  assert(cylinders > 3);
+  assert(single_ms > 0.0 && average_ms > single_ms && full_ms > average_ms);
+  c_ = single_ms;  // t(1) = c
+  // Solve for a, b from t(d_avg) and t(d_full):
+  //   a*sqrt(d-1) + b*(d-1) = t - c
+  const double d_avg = static_cast<double>(cylinders) / 3.0 - 1.0;
+  const double d_full = static_cast<double>(cylinders - 1) - 1.0;
+  const double s1 = std::sqrt(d_avg);
+  const double s2 = std::sqrt(d_full);
+  const double r1 = average_ms - c_;
+  const double r2 = full_ms - c_;
+  // [s1 d_avg; s2 d_full] [a b]^T = [r1 r2]^T
+  const double det = s1 * d_full - s2 * d_avg;
+  assert(det != 0.0);
+  a_ = (r1 * d_full - r2 * d_avg) / det;
+  b_ = (s1 * r2 - s2 * r1) / det;
+}
+
+double SeekCurve::SeekMs(int64_t distance) const {
+  if (distance <= 0) {
+    return 0.0;
+  }
+  const double d = static_cast<double>(distance - 1);
+  return a_ * std::sqrt(d) + b_ * d + c_;
+}
+
+}  // namespace mstk

@@ -1,0 +1,32 @@
+// Seek-time-vs-distance curve, using the classic three-point fit
+// (Lee's model): t(d) = a*sqrt(d-1) + b*(d-1) + c for d >= 1, t(0) = 0.
+// Calibrated from single-cylinder, average (taken at d = cylinders/3, the
+// mean uniform-random seek distance), and full-stroke times.
+#ifndef MSTK_SRC_DISK_SEEK_CURVE_H_
+#define MSTK_SRC_DISK_SEEK_CURVE_H_
+
+#include <cstdint>
+
+namespace mstk {
+
+class SeekCurve {
+ public:
+  // Fits the curve to the three calibration points.
+  SeekCurve(int cylinders, double single_ms, double average_ms, double full_ms);
+
+  // Seek time in ms for a move of `distance` cylinders (>= 0).
+  double SeekMs(int64_t distance) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+  double c() const { return c_; }
+
+ private:
+  double a_ = 0.0;
+  double b_ = 0.0;
+  double c_ = 0.0;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_DISK_SEEK_CURVE_H_

@@ -1,0 +1,35 @@
+#include "src/fault/ecc.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mstk {
+
+EccModel::EccModel(const EccParams& params) : params_(params) {
+  assert(params_.data_tips > 0 && params_.ecc_tips >= 0);
+  assert(params_.vertical_detection >= 0.0 && params_.vertical_detection <= 1.0);
+}
+
+bool EccModel::TryDecode(int bad_tip_sectors, Rng& rng) const {
+  assert(bad_tip_sectors >= 0 && bad_tip_sectors <= stripe_width());
+  int erasures = 0;
+  for (int i = 0; i < bad_tip_sectors; ++i) {
+    if (rng.Bernoulli(params_.vertical_detection)) {
+      ++erasures;
+    } else {
+      return false;  // undetected corruption defeats the horizontal code
+    }
+  }
+  return RecoverableErasures(erasures);
+}
+
+double EccModel::DecodeProbability(int bad_tip_sectors) const {
+  assert(bad_tip_sectors >= 0 && bad_tip_sectors <= stripe_width());
+  if (!RecoverableErasures(bad_tip_sectors)) {
+    return 0.0;
+  }
+  // All bad members must be flagged as erasures.
+  return std::pow(params_.vertical_detection, bad_tip_sectors);
+}
+
+}  // namespace mstk

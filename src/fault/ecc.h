@@ -1,0 +1,56 @@
+// Striping + ECC model for MEMS-based storage (§6.1.2).
+//
+// Each logical sector is striped across `data_tips` tip sectors; the device
+// can switch on `ecc_tips` extra tips per access carrying horizontal parity
+// (an erasure code: any `ecc_tips` missing tip sectors are recoverable).
+// A vertical per-tip code detects corrupted tip sectors with probability
+// `vertical_detection`, converting errors into erasures; undetected errors
+// defeat the horizontal code.
+#ifndef MSTK_SRC_FAULT_ECC_H_
+#define MSTK_SRC_FAULT_ECC_H_
+
+#include <cstdint>
+
+#include "src/sim/rng.h"
+
+namespace mstk {
+
+struct EccParams {
+  int data_tips = 64;            // tip sectors per logical sector
+  int ecc_tips = 8;              // horizontal parity tip sectors
+  double vertical_detection = 0.999;  // P(bad tip sector flagged as erasure)
+};
+
+class EccModel {
+ public:
+  explicit EccModel(const EccParams& params);
+
+  const EccParams& params() const { return params_; }
+  int stripe_width() const { return params_.data_tips + params_.ecc_tips; }
+
+  // Capacity overhead of the horizontal code (fraction of raw media).
+  double overhead() const {
+    return static_cast<double>(params_.ecc_tips) / stripe_width();
+  }
+
+  // A stripe with `erasures` known-missing tip sectors is recoverable iff
+  // erasures <= ecc_tips (MDS erasure code).
+  bool RecoverableErasures(int erasures) const { return erasures <= params_.ecc_tips; }
+
+  // Stochastic stripe read: given `bad_tip_sectors` corrupted members, the
+  // vertical code flags each independently; flagged ones become erasures.
+  // Returns true iff the stripe decodes correctly (all bad members flagged
+  // AND total erasures within the horizontal budget).
+  bool TryDecode(int bad_tip_sectors, Rng& rng) const;
+
+  // Exact probability that a stripe with `bad_tip_sectors` corrupted
+  // members decodes correctly (analytic counterpart of TryDecode).
+  double DecodeProbability(int bad_tip_sectors) const;
+
+ private:
+  EccParams params_;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_FAULT_ECC_H_

@@ -1,0 +1,85 @@
+#include "src/fault/lifetime.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cassert>
+#include <queue>
+#include <vector>
+
+namespace mstk {
+namespace {
+
+constexpr double kHoursPerYear = 24.0 * 365.0;
+
+}  // namespace
+
+LifetimeResult RunLifetimeStudy(const LifetimeParams& params, Rng& rng) {
+  assert(params.total_tips > 0 && params.data_tips > 0 && params.ecc_tips >= 0);
+  assert(params.tip_mtbf_years > 0.0 && params.trials > 0);
+
+  const int stripe_width = params.data_tips + params.ecc_tips;
+  const int stripes = params.total_tips / stripe_width;
+  assert(stripes > 0);
+  // Device-wide failure arrival rate (failures per year).
+  const double failure_rate = static_cast<double>(params.total_tips) / params.tip_mtbf_years;
+  const double rebuild_years = params.rebuild_hours / kHoursPerYear;
+
+  LifetimeResult result;
+  int64_t losses = 0;
+  double loss_years_sum = 0.0;
+  int64_t total_failures = 0;
+  int64_t total_spares_used = 0;
+  int64_t total_converted = 0;
+
+  std::vector<int> failed_count(static_cast<std::size_t>(stripes));
+  using RebuildEvent = std::pair<double, int>;  // completion time, stripe
+  for (int trial = 0; trial < params.trials; ++trial) {
+    std::fill(failed_count.begin(), failed_count.end(), 0);
+    std::priority_queue<RebuildEvent, std::vector<RebuildEvent>, std::greater<>> rebuilds;
+    int spares_left = params.spare_tips;
+    double t = 0.0;
+    bool lost = false;
+    while (true) {
+      t += rng.Exponential(1.0 / failure_rate);
+      if (t > params.horizon_years) {
+        break;
+      }
+      ++total_failures;
+      while (!rebuilds.empty() && rebuilds.top().first <= t) {
+        --failed_count[static_cast<std::size_t>(rebuilds.top().second)];
+        rebuilds.pop();
+      }
+      const int stripe = static_cast<int>(rng.UniformInt(stripes));
+      ++failed_count[static_cast<std::size_t>(stripe)];
+      if (failed_count[static_cast<std::size_t>(stripe)] > params.ecc_tips) {
+        lost = true;
+        loss_years_sum += t;
+        break;
+      }
+      if (params.adaptive_sparing && spares_left < params.sparing_watermark) {
+        // Convert capacity tips into spares (§6.1.1). The conversion itself
+        // is a remapping, not a repair, so it is immediate.
+        spares_left += params.sparing_batch;
+        total_converted += params.sparing_batch;
+      }
+      if (spares_left > 0) {
+        --spares_left;
+        ++total_spares_used;
+        rebuilds.emplace(t + rebuild_years, stripe);
+      }
+      // Without spares the failure is permanent: failed_count stays raised.
+    }
+    if (lost) {
+      ++losses;
+    }
+  }
+
+  result.data_loss_probability = static_cast<double>(losses) / params.trials;
+  result.mean_tip_failures = static_cast<double>(total_failures) / params.trials;
+  result.mean_spares_consumed = static_cast<double>(total_spares_used) / params.trials;
+  result.mean_years_to_loss = losses > 0 ? loss_years_sum / static_cast<double>(losses) : 0.0;
+  result.mean_tips_converted = static_cast<double>(total_converted) / params.trials;
+  return result;
+}
+
+}  // namespace mstk

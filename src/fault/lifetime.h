@@ -1,0 +1,53 @@
+// Monte-Carlo device-lifetime study (§6.1.1): does striping + spare tips
+// turn tip failures from data loss into recoverable events?
+//
+// Model: tips fail independently (exponential lifetimes). Tips are grouped
+// into stripes of (data_tips + ecc_tips); a stripe with more concurrent
+// failed members than the horizontal ECC budget loses data. After a failure,
+// the device rebuilds the lost tip region onto a spare tip (taking
+// `rebuild_hours`), after which the stripe is whole again — until spares run
+// out, when failures accumulate permanently.
+//
+// The disk-style comparison point is the same machinery with zero ECC tips
+// and zero spares: the first tip failure loses data.
+#ifndef MSTK_SRC_FAULT_LIFETIME_H_
+#define MSTK_SRC_FAULT_LIFETIME_H_
+
+#include <cstdint>
+
+#include "src/sim/rng.h"
+
+namespace mstk {
+
+struct LifetimeParams {
+  int total_tips = 6400;
+  int data_tips = 64;          // stripe data width
+  int ecc_tips = 8;            // tolerated concurrent failures per stripe
+  int spare_tips = 512;        // global spare pool
+  double tip_mtbf_years = 100.0;  // per-tip mean time between failures
+  double rebuild_hours = 1.0;    // time to reconstruct one tip region
+  double horizon_years = 5.0;    // observation window
+  int trials = 2000;
+
+  // §6.1.1's capacity/fault-tolerance dial: when enabled, the OS converts
+  // regular tips into spares whenever the pool drops below the watermark,
+  // giving up capacity to preserve rebuild margin.
+  bool adaptive_sparing = false;
+  int sparing_watermark = 16;
+  int sparing_batch = 64;
+};
+
+struct LifetimeResult {
+  double data_loss_probability = 0.0;  // P(loss within horizon)
+  double mean_tip_failures = 0.0;      // per trial
+  double mean_spares_consumed = 0.0;   // per trial
+  double mean_years_to_loss = 0.0;     // over trials that lost data (0 if none)
+  // Adaptive sparing: capacity given up, as tips converted per trial.
+  double mean_tips_converted = 0.0;
+};
+
+LifetimeResult RunLifetimeStudy(const LifetimeParams& params, Rng& rng);
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_FAULT_LIFETIME_H_

@@ -1,0 +1,229 @@
+#include "src/fs/allocator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/sim/check.h"
+
+namespace mstk {
+
+void Allocator::FreeMap::Insert(int64_t start, int64_t length) {
+  assert(length > 0);
+  total_ += length;
+  auto after = extents_.lower_bound(start);
+  // Coalesce with the predecessor.
+  if (after != extents_.begin()) {
+    auto before = std::prev(after);
+    assert(before->first + before->second <= start && "double free");
+    if (before->first + before->second == start) {
+      start = before->first;
+      length += before->second;
+      extents_.erase(before);
+    }
+  }
+  // Coalesce with the successor.
+  if (after != extents_.end()) {
+    assert(start + length <= after->first && "double free");
+    if (start + length == after->first) {
+      length += after->second;
+      extents_.erase(after);
+    }
+  }
+  extents_[start] = length;
+}
+
+int64_t Allocator::FreeMap::TakeFirstFit(int64_t blocks, int64_t from,
+                                         std::vector<PhysExtent>* out) {
+  int64_t taken = 0;
+  bool wrapped = false;
+  auto it = extents_.lower_bound(from);
+  // If the predecessor extent spans `from`, start inside it: split off the
+  // head so allocation begins at the hint.
+  if (it != extents_.begin()) {
+    auto before = std::prev(it);
+    if (before->first + before->second > from) {
+      const int64_t head = from - before->first;
+      const int64_t tail = before->second - head;
+      before->second = head;
+      it = extents_.emplace(from, tail).first;
+    }
+  }
+  while (taken < blocks && !extents_.empty()) {
+    if (it == extents_.end()) {
+      if (wrapped) {
+        break;
+      }
+      wrapped = true;
+      it = extents_.begin();
+      continue;
+    }
+    const int64_t start = it->first;
+    const int64_t length = it->second;
+    const int64_t take = std::min(blocks - taken, length);
+    out->push_back(PhysExtent{start, static_cast<int32_t>(take)});
+    it = extents_.erase(it);
+    if (take < length) {
+      // Reinsert the tail; iterator restarts just past it.
+      extents_[start + take] = length - take;
+      it = extents_.upper_bound(start + take);
+    }
+    taken += take;
+    total_ -= take;
+    if (wrapped && !extents_.empty() && it != extents_.end() && it->first >= from) {
+      break;  // full circle
+    }
+  }
+  return taken;
+}
+
+bool Allocator::FreeMap::TakeContiguous(int64_t blocks, int64_t from, PhysExtent* out) {
+  auto take_at = [this, blocks, out](std::map<int64_t, int64_t>::iterator it,
+                                     int64_t at) {
+    const int64_t start = it->first;
+    const int64_t length = it->second;
+    extents_.erase(it);
+    if (at > start) {
+      extents_[start] = at - start;  // head before the hint
+    }
+    if (at + blocks < start + length) {
+      extents_[at + blocks] = start + length - (at + blocks);
+    }
+    total_ -= blocks;
+    *out = PhysExtent{at, static_cast<int32_t>(blocks)};
+  };
+  // An extent spanning `from` with enough room past the hint wins outright.
+  auto it = extents_.lower_bound(from);
+  if (it != extents_.begin()) {
+    auto before = std::prev(it);
+    if (before->first + before->second >= from + blocks && before->first < from) {
+      take_at(before, from);
+      return true;
+    }
+  }
+  // Otherwise first fit at/after `from`, then wrap.
+  for (int pass = 0; pass < 2; ++pass) {
+    auto cursor = pass == 0 ? extents_.lower_bound(from) : extents_.begin();
+    const auto end = pass == 0 ? extents_.end() : extents_.lower_bound(from);
+    for (; cursor != end; ++cursor) {
+      if (cursor->second >= blocks) {
+        take_at(cursor, cursor->first);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Allocator::Allocator(const AllocatorConfig& config) : config_(config) {
+  MSTK_CHECK(config_.capacity_blocks > 0, "allocator needs capacity");
+  if (config_.policy == AllocPolicy::kBipartite) {
+    MSTK_CHECK(config_.center_start >= 0 &&
+                   config_.center_end > config_.center_start &&
+                   config_.center_end <= config_.capacity_blocks,
+               "bipartite policy needs a center region");
+    if (config_.center_start > 0) {
+      free_.Insert(0, config_.center_start);
+    }
+    center_.Insert(config_.center_start, config_.center_end - config_.center_start);
+    if (config_.center_end < config_.capacity_blocks) {
+      free_.Insert(config_.center_end, config_.capacity_blocks - config_.center_end);
+    }
+  } else {
+    free_.Insert(0, config_.capacity_blocks);
+  }
+  free_blocks_ = config_.capacity_blocks;
+}
+
+int64_t Allocator::GroupStart(int64_t group) const {
+  const int64_t group_size = config_.capacity_blocks / config_.groups;
+  return (group % config_.groups) * group_size;
+}
+
+int64_t Allocator::AllocMetadata(int64_t hint_group) {
+  std::vector<PhysExtent> got;
+  switch (config_.policy) {
+    case AllocPolicy::kFirstFit:
+      if (free_.TakeFirstFit(1, 0, &got) == 1) {
+        free_blocks_ -= 1;
+        return got[0].lbn;
+      }
+      return -1;
+    case AllocPolicy::kGrouped:
+      if (free_.TakeFirstFit(1, GroupStart(hint_group), &got) == 1) {
+        free_blocks_ -= 1;
+        return got[0].lbn;
+      }
+      return -1;
+    case AllocPolicy::kBipartite:
+      // Metadata from the center pool; spill to the main pool when full.
+      if (center_.TakeFirstFit(1, config_.center_start, &got) == 1 ||
+          free_.TakeFirstFit(1, 0, &got) == 1) {
+        free_blocks_ -= 1;
+        return got[0].lbn;
+      }
+      return -1;
+  }
+  return -1;
+}
+
+std::vector<PhysExtent> Allocator::AllocData(int64_t blocks, int64_t hint_group) {
+  MSTK_CHECK(blocks > 0, "bad allocation size");
+  std::vector<PhysExtent> result;
+  const int64_t from =
+      config_.policy == AllocPolicy::kGrouped ? GroupStart(hint_group) : 0;
+
+  // Bipartite small-file placement: small data lives with the metadata in
+  // the center region.
+  if (config_.policy == AllocPolicy::kBipartite &&
+      blocks <= config_.center_small_blocks) {
+    PhysExtent center_whole;
+    if (center_.TakeContiguous(blocks, config_.center_start, &center_whole)) {
+      free_blocks_ -= blocks;
+      result.push_back(center_whole);
+      return result;
+    }
+  }
+
+  // Prefer one contiguous extent.
+  PhysExtent whole;
+  if (free_.TakeContiguous(blocks, from, &whole)) {
+    free_blocks_ -= blocks;
+    result.push_back(whole);
+    return result;
+  }
+  // Fall back to gathering fragments (first fit from the hint).
+  int64_t taken = free_.TakeFirstFit(blocks, from, &result);
+  if (taken < blocks && config_.policy == AllocPolicy::kBipartite) {
+    // Desperation: spill data into the center pool.
+    taken += center_.TakeFirstFit(blocks - taken, config_.center_start, &result);
+  }
+  if (taken < blocks) {
+    // ENOSPC: put everything back.
+    for (const PhysExtent& e : result) {
+      Free(e);
+      free_blocks_ -= e.blocks;  // Free() re-adds; undo the double count
+    }
+    return {};
+  }
+  free_blocks_ -= blocks;
+  return result;
+}
+
+void Allocator::Free(const PhysExtent& extent) {
+  MSTK_CHECK(extent.lbn >= 0 && extent.blocks > 0 &&
+                 extent.lbn + extent.blocks <= config_.capacity_blocks,
+             "bad free");
+  if (config_.policy == AllocPolicy::kBipartite &&
+      extent.lbn >= config_.center_start && extent.lbn < config_.center_end) {
+    // Freed center blocks return to the metadata pool. (Extents never span
+    // the pool boundary because allocation never merges across it.)
+    center_.Insert(extent.lbn, extent.blocks);
+  } else {
+    free_.Insert(extent.lbn, extent.blocks);
+  }
+  free_blocks_ += extent.blocks;
+}
+
+int64_t Allocator::free_extent_count() const { return free_.size() + center_.size(); }
+
+}  // namespace mstk

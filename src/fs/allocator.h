@@ -1,0 +1,96 @@
+// Extent-based free-space allocation with placement policies (§5: "space
+// allocation and data placement ... mapping of file or database blocks to
+// LBNs").
+//
+// Policies:
+//  * kFirstFit   — lowest-address first fit; what a naive FS does. Ages
+//                  into fragmentation and scatters hot metadata.
+//  * kGrouped    — FFS-style allocation groups [MJLF84]: the LBN space is
+//                  divided into groups; each file's metadata and data are
+//                  kept in its home group, spilling to neighbors when full.
+//                  Matches disk geometry (cylinder groups) when group size
+//                  is a cylinder multiple.
+//  * kBipartite  — MEMS-aware (§5.3): metadata allocates from a reserved
+//                  center region (minimum spring displacement, short X and
+//                  Y strokes); data allocates from the outer regions where
+//                  positioning costs barely matter for streaming.
+#ifndef MSTK_SRC_FS_ALLOCATOR_H_
+#define MSTK_SRC_FS_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/layout/layout_map.h"
+
+namespace mstk {
+
+enum class AllocPolicy { kFirstFit, kGrouped, kBipartite };
+
+struct AllocatorConfig {
+  AllocPolicy policy = AllocPolicy::kFirstFit;
+  int64_t capacity_blocks = 0;  // required
+  // kGrouped: number of allocation groups.
+  int32_t groups = 64;
+  // kBipartite: the center region reserved for metadata and small files,
+  // as [start, end).
+  int64_t center_start = 0;
+  int64_t center_end = 0;
+  // kBipartite: data allocations at or below this size also come from the
+  // center (small, popular files belong with the metadata; §5.3). 0 keeps
+  // the center metadata-only.
+  int64_t center_small_blocks = 0;
+};
+
+class Allocator {
+ public:
+  explicit Allocator(const AllocatorConfig& config);
+
+  // Allocates one metadata block. `hint_group` co-locates related metadata
+  // (kGrouped); ignored by other policies. Returns -1 when full.
+  int64_t AllocMetadata(int64_t hint_group);
+
+  // Allocates `blocks` of file data, preferring contiguity; may return
+  // multiple extents when free space is fragmented. Empty result = ENOSPC.
+  std::vector<PhysExtent> AllocData(int64_t blocks, int64_t hint_group);
+
+  // Returns an extent to the free pool (coalesces with neighbors).
+  void Free(const PhysExtent& extent);
+
+  int64_t free_blocks() const { return free_blocks_; }
+  int64_t capacity() const { return config_.capacity_blocks; }
+  // Number of free extents (fragmentation proxy).
+  int64_t free_extent_count() const;
+
+  const AllocatorConfig& config() const { return config_; }
+
+ private:
+  // A free-extent map (start -> length) with coalescing.
+  class FreeMap {
+   public:
+    void Insert(int64_t start, int64_t length);
+    // Removes up to `blocks` from the first free extent at or after `from`
+    // (wrapping to the map start); appends to `out`. Returns blocks taken.
+    int64_t TakeFirstFit(int64_t blocks, int64_t from, std::vector<PhysExtent>* out);
+    // Takes the single best-fit extent run >= blocks if one exists.
+    bool TakeContiguous(int64_t blocks, int64_t from, PhysExtent* out);
+    bool empty() const { return extents_.empty(); }
+    int64_t size() const { return static_cast<int64_t>(extents_.size()); }
+    int64_t total() const { return total_; }
+
+   private:
+    std::map<int64_t, int64_t> extents_;
+    int64_t total_ = 0;
+  };
+
+  int64_t GroupStart(int64_t group) const;
+
+  AllocatorConfig config_;
+  FreeMap free_;        // main pool (all policies; excludes center when bipartite)
+  FreeMap center_;      // kBipartite metadata pool
+  int64_t free_blocks_ = 0;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_FS_ALLOCATOR_H_

@@ -1,0 +1,69 @@
+#include "src/layout/layout_map.h"
+
+#include <cassert>
+
+#include "src/sim/check.h"
+
+namespace mstk {
+
+void ExtentLayout::Append(int64_t phys_lbn, int64_t blocks) {
+  assert(blocks > 0);
+  if (!extents_.empty()) {
+    Entry& last = extents_.back();
+    if (last.phys_base + last.blocks == phys_lbn) {
+      last.blocks += blocks;
+      total_blocks_ += blocks;
+      return;
+    }
+  }
+  extents_.push_back(Entry{total_blocks_, phys_lbn, blocks});
+  total_blocks_ += blocks;
+}
+
+std::vector<PhysExtent> ExtentLayout::MapExtent(int64_t logical_lbn, int32_t blocks) const {
+  MSTK_CHECK(logical_lbn >= 0 && blocks > 0, "bad logical extent");
+  MSTK_CHECK(logical_lbn + blocks <= total_blocks_,
+             "logical extent beyond layout capacity");
+  // Binary search for the extent containing logical_lbn.
+  size_t lo = 0;
+  size_t hi = extents_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi + 1) / 2;
+    if (extents_[mid].logical_base <= logical_lbn) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  std::vector<PhysExtent> result;
+  int64_t remaining = blocks;
+  int64_t cursor = logical_lbn;
+  for (size_t i = lo; remaining > 0; ++i) {
+    MSTK_CHECK(i < extents_.size(), "extent walk overran layout table");
+    const Entry& e = extents_[i];
+    const int64_t off = cursor - e.logical_base;
+    const int64_t run = std::min(remaining, e.blocks - off);
+    result.push_back(PhysExtent{e.phys_base + off, static_cast<int32_t>(run)});
+    remaining -= run;
+    cursor += run;
+  }
+  return result;
+}
+
+std::vector<Request> ApplyLayout(const LayoutMap& layout, const std::vector<Request>& requests) {
+  std::vector<Request> mapped;
+  mapped.reserve(requests.size());
+  int64_t id = 0;
+  for (const Request& req : requests) {
+    for (const PhysExtent& extent : layout.MapExtent(req.lbn, req.block_count)) {
+      Request sub = req;
+      sub.id = id++;
+      sub.lbn = extent.lbn;
+      sub.block_count = extent.blocks;
+      mapped.push_back(sub);
+    }
+  }
+  return mapped;
+}
+
+}  // namespace mstk

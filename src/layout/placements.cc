@@ -1,0 +1,140 @@
+#include "src/layout/placements.h"
+
+#include <array>
+#include <cassert>
+
+namespace mstk {
+namespace {
+
+constexpr int kGrid = 5;      // 5x5 subregion grid
+constexpr int kColumns = 25;  // columnar division
+
+// Row-band boundaries for the 5 Y bands: round(rows * j / 5).
+std::array<int32_t, kGrid + 1> RowBands(int32_t rows) {
+  std::array<int32_t, kGrid + 1> bands{};
+  for (int j = 0; j <= kGrid; ++j) {
+    bands[static_cast<size_t>(j)] = static_cast<int32_t>(
+        (static_cast<int64_t>(rows) * j + kGrid / 2) / kGrid);
+  }
+  bands[0] = 0;
+  bands[kGrid] = rows;
+  return bands;
+}
+
+// Appends every LBN run of grid cell (xband, yband) to `layout`, stopping
+// once `budget` blocks have been placed. Returns blocks placed.
+int64_t AppendCell(ExtentLayout& layout, const MemsGeometry& geometry, int xband, int yband,
+                   int64_t budget) {
+  const MemsParams& p = geometry.params();
+  const int32_t cyl_per_band = static_cast<int32_t>(p.cylinders() / kGrid);
+  const auto bands = RowBands(static_cast<int32_t>(p.rows_per_track()));
+  const int32_t r0 = bands[static_cast<size_t>(yband)];
+  const int32_t r1 = bands[static_cast<size_t>(yband) + 1];  // exclusive
+  const int64_t run_blocks = static_cast<int64_t>(r1 - r0) * p.slots_per_row();
+  int64_t placed = 0;
+  const int32_t c0 = static_cast<int32_t>(xband) * cyl_per_band;
+  for (int32_t cyl = c0; cyl < c0 + cyl_per_band && placed < budget; ++cyl) {
+    for (int32_t track = 0; track < p.tracks_per_cylinder() && placed < budget; ++track) {
+      // The serpentine row order means the lowest LBN of the physical row
+      // band [r0, r1) sits at r0 on even tracks but r1-1 on odd ones.
+      const int64_t base =
+          std::min(geometry.Encode(MemsAddress{cyl, track, r0, 0}),
+                   geometry.Encode(MemsAddress{cyl, track, r1 - 1, 0}));
+      const int64_t take = std::min(run_blocks, budget - placed);
+      layout.Append(base, take);
+      placed += take;
+    }
+  }
+  return placed;
+}
+
+}  // namespace
+
+ExtentLayout MakeSimpleLayout(int64_t small_blocks, int64_t large_blocks) {
+  ExtentLayout layout("simple");
+  layout.Append(0, small_blocks + large_blocks);
+  return layout;
+}
+
+ExtentLayout MakeOrganPipeLayout(int64_t device_capacity_blocks, int64_t hot_blocks,
+                                 int64_t cold_blocks) {
+  assert(hot_blocks + cold_blocks <= device_capacity_blocks);
+  ExtentLayout layout("organ-pipe");
+  const int64_t center = device_capacity_blocks / 2;
+  const int64_t hot_base = center - hot_blocks / 2;
+  assert(hot_base >= 0);
+  layout.Append(hot_base, hot_blocks);
+  // Cold data flanks the hot center, half on each side (with spill-over if
+  // one side lacks room).
+  const int64_t right_room = device_capacity_blocks - (hot_base + hot_blocks);
+  const int64_t left_room = hot_base;
+  int64_t right_take = std::min(cold_blocks / 2, right_room);
+  int64_t left_take = std::min(cold_blocks - right_take, left_room);
+  right_take = std::min(cold_blocks - left_take, right_room);
+  assert(left_take + right_take == cold_blocks);
+  if (right_take > 0) {
+    layout.Append(hot_base + hot_blocks, right_take);
+  }
+  if (left_take > 0) {
+    layout.Append(hot_base - left_take, left_take);
+  }
+  return layout;
+}
+
+ExtentLayout MakeColumnarBipartiteLayout(const MemsGeometry& geometry, int64_t small_blocks,
+                                         int64_t large_blocks) {
+  ExtentLayout layout("columnar");
+  const MemsParams& p = geometry.params();
+  const int64_t cyl_per_col = p.cylinders() / kColumns;
+  const int64_t col_blocks = cyl_per_col * p.blocks_per_cylinder();
+  const auto column_base = [&](int col) {
+    return static_cast<int64_t>(col) * col_blocks;
+  };
+  // Small pool: center column.
+  assert(small_blocks <= col_blocks);
+  layout.Append(column_base(kColumns / 2), small_blocks);
+  // Large pool: 10 leftmost then 10 rightmost columns.
+  int64_t remaining = large_blocks;
+  for (int col = 0; col < kColumns && remaining > 0; ++col) {
+    if (col >= 10 && col < 15) {
+      continue;  // keep the center band free for the small pool
+    }
+    const int64_t take = std::min(remaining, col_blocks);
+    layout.Append(column_base(col), take);
+    remaining -= take;
+  }
+  assert(remaining == 0 && "large pool exceeds the 20 outer columns");
+  return layout;
+}
+
+ExtentLayout MakeSubregionedBipartiteLayout(const MemsGeometry& geometry, int64_t small_blocks,
+                                            int64_t large_blocks) {
+  ExtentLayout layout("subregioned");
+  const MemsParams& p = geometry.params();
+  // Small pool: centermost cell (2,2) — confined in both X and Y, which is
+  // what distinguishes this layout from the columnar one.
+  const int64_t placed = AppendCell(layout, geometry, kGrid / 2, kGrid / 2, small_blocks);
+  assert(placed == small_blocks && "small pool exceeds the center subregion");
+  (void)placed;
+  // Large pool: directed at the ten leftmost and ten rightmost subregions
+  // (x bands 0,1 then 3,4). Streams are laid out cylinder-major within those
+  // bands — sequential transfers stay contiguous; the Y subdivision only
+  // matters for the small, seek-bound pool.
+  const int64_t band_cylinders = p.cylinders() / kGrid;
+  const int64_t band_blocks = band_cylinders * p.blocks_per_cylinder();
+  int64_t remaining = large_blocks;
+  for (const int xband : {0, 1, 3, 4}) {
+    if (remaining <= 0) {
+      break;
+    }
+    const int64_t base = static_cast<int64_t>(xband) * band_cylinders *
+                         p.blocks_per_cylinder();
+    const int64_t take = std::min(remaining, band_blocks);
+    layout.Append(base, take);
+    remaining -= take;
+  }
+  assert(remaining == 0 && "large pool exceeds the 20 outer subregions");
+  return layout;
+}
+
+}  // namespace mstk

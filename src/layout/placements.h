@@ -1,0 +1,43 @@
+// Placement factories for the §5.3 layout study.
+//
+// All factories build a two-pool ("bipartite") logical space:
+//   logical [0, small_blocks)                — small, popular data
+//   logical [small_blocks, +large_blocks)    — large, sequential streams
+//
+// * Simple: both pools laid out linearly from LBN 0 (the baseline).
+// * Organ pipe [VC90, RW91]: the popular small pool at the device center,
+//   the cold large pool split around it — optimal for disks.
+// * Columnar: 25 columns of 1/25th of the cylinders each; small pool in the
+//   center column, large pool in the 10 leftmost + 10 rightmost columns.
+// * Subregioned: the 5x5 grid of Fig 9; small pool in the centermost cell,
+//   large pool in the ten leftmost and ten rightmost cells. Optimizes both
+//   X and Y locality for the small pool.
+#ifndef MSTK_SRC_LAYOUT_PLACEMENTS_H_
+#define MSTK_SRC_LAYOUT_PLACEMENTS_H_
+
+#include <cstdint>
+
+#include "src/layout/layout_map.h"
+#include "src/mems/geometry.h"
+
+namespace mstk {
+
+// Works for any device (disk or MEMS): linear placement from LBN 0.
+ExtentLayout MakeSimpleLayout(int64_t small_blocks, int64_t large_blocks);
+
+// Works for any device: hot pool centered at capacity/2, cold pool split
+// immediately right then left of it.
+ExtentLayout MakeOrganPipeLayout(int64_t device_capacity_blocks, int64_t hot_blocks,
+                                 int64_t cold_blocks);
+
+// MEMS-specific columnar bipartite placement (25 cylinder columns).
+ExtentLayout MakeColumnarBipartiteLayout(const MemsGeometry& geometry, int64_t small_blocks,
+                                         int64_t large_blocks);
+
+// MEMS-specific 5x5 subregioned bipartite placement.
+ExtentLayout MakeSubregionedBipartiteLayout(const MemsGeometry& geometry, int64_t small_blocks,
+                                            int64_t large_blocks);
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_LAYOUT_PLACEMENTS_H_

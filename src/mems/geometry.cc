@@ -1,0 +1,65 @@
+#include "src/mems/geometry.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/sim/check.h"
+
+namespace mstk {
+
+MemsGeometry::MemsGeometry(const MemsParams& params) : params_(params) {
+  MSTK_CHECK(params_.total_tips % params_.active_tips == 0,
+             "active tips must divide total tips (whole tracks per cylinder)");
+  MSTK_CHECK(params_.active_tips % params_.tip_sectors_per_lbn == 0,
+             "active tips must carry whole logical sectors");
+  MSTK_CHECK(params_.bits_per_region_y >= params_.tip_sector_bits(),
+             "tip region shorter than one tip sector");
+}
+
+MemsAddress MemsGeometry::Decode(int64_t lbn) const {
+  assert(lbn >= 0 && lbn < capacity_blocks());
+  const int64_t slots = params_.slots_per_row();
+  const int64_t rows = params_.rows_per_track();
+  const int64_t tracks = params_.tracks_per_cylinder();
+
+  MemsAddress addr;
+  addr.slot = static_cast<int32_t>(lbn % slots);
+  lbn /= slots;
+  const int32_t logical_row = static_cast<int32_t>(lbn % rows);
+  lbn /= rows;
+  addr.track = static_cast<int32_t>(lbn % tracks);
+  lbn /= tracks;
+  addr.cylinder = static_cast<int32_t>(lbn);
+  // Serpentine: odd global tracks store their rows top-down.
+  const int64_t global_track =
+      static_cast<int64_t>(addr.cylinder) * tracks + addr.track;
+  addr.row = (global_track % 2 == 0) ? logical_row
+                                     : static_cast<int32_t>(rows - 1) - logical_row;
+  return addr;
+}
+
+int64_t MemsGeometry::Encode(const MemsAddress& addr) const {
+  const int64_t slots = params_.slots_per_row();
+  const int64_t rows = params_.rows_per_track();
+  const int64_t tracks = params_.tracks_per_cylinder();
+  const int64_t global_track =
+      static_cast<int64_t>(addr.cylinder) * tracks + addr.track;
+  const int64_t logical_row =
+      (global_track % 2 == 0) ? addr.row : rows - 1 - addr.row;
+  return (global_track * rows + logical_row) * slots + addr.slot;
+}
+
+int32_t MemsGeometry::CylinderAtX(double x) const {
+  const double pitch = NmToMeters(params_.bit_width_nm);
+  const double idx = (x + params_.half_range_m()) / pitch - 0.5;
+  int64_t c = static_cast<int64_t>(std::llround(idx));
+  if (c < 0) {
+    c = 0;
+  }
+  if (c >= params_.cylinders()) {
+    c = params_.cylinders() - 1;
+  }
+  return static_cast<int32_t>(c);
+}
+
+}  // namespace mstk

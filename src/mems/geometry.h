@@ -1,0 +1,62 @@
+// Logical-to-physical mapping for MEMS-based storage (§2.2).
+//
+// The media under each probe tip is a 2500 x 2500-bit region. A tip track is
+// the column of bits one tip sweeps in Y; it holds `rows_per_track` 90-bit
+// tip sectors. 512 B logical blocks (LBNs) are striped across 64 tips, so one
+// pass of the 1280 active tips over a row of tip sectors transfers
+// `slots_per_row` (20) LBNs in parallel.
+//
+// Mapping (sequentially optimized, §2.4.3): LBNs fill the parallel slots of
+// a row, then rows within a track, then the tracks of a cylinder (tip-group
+// switches), then cylinders. Row order is *serpentine*: consecutive tracks
+// store their rows in opposite Y order, so a sequential transfer crosses a
+// track boundary with a bare turnaround (§2.3) instead of a full-stroke Y
+// reposition.
+#ifndef MSTK_SRC_MEMS_GEOMETRY_H_
+#define MSTK_SRC_MEMS_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "src/mems/mems_params.h"
+
+namespace mstk {
+
+// Physical coordinates of one logical block.
+struct MemsAddress {
+  int32_t cylinder = 0;  // X position (bit column)
+  int32_t track = 0;     // which tip group within the cylinder
+  int32_t row = 0;       // tip sector index along the track (Y position)
+  int32_t slot = 0;      // which of the parallel LBNs in this row
+
+  friend bool operator==(const MemsAddress&, const MemsAddress&) = default;
+};
+
+class MemsGeometry {
+ public:
+  explicit MemsGeometry(const MemsParams& params);
+
+  const MemsParams& params() const { return params_; }
+
+  int64_t capacity_blocks() const { return params_.capacity_blocks(); }
+
+  MemsAddress Decode(int64_t lbn) const;
+  int64_t Encode(const MemsAddress& addr) const;
+
+  // Sled-offset coordinates (meters).
+  double CylinderX(int32_t cylinder) const { return params_.cylinder_x_m(cylinder); }
+  // Y offset of the boundary below row `row` (row 0's lower edge at row=0,
+  // one past the last row at row=rows_per_track()).
+  double RowBoundaryY(int32_t row) const {
+    return params_.y_base_m() + row * params_.row_height_m();
+  }
+
+  // Cylinder whose X offset is closest to `x` (for subregion experiments).
+  int32_t CylinderAtX(double x) const;
+
+ private:
+  MemsParams params_;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_MEMS_GEOMETRY_H_

@@ -1,0 +1,182 @@
+#include "src/mems/mems_device.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/sim/check.h"
+
+namespace mstk {
+
+MemsDevice::MemsDevice(const MemsParams& params)
+    : geometry_(params),
+      kinematics_(SledAxisParams{params.sled_accel_ms2, params.half_range_m(),
+                                 params.spring_factor, params.spring_coeff()}),
+      v_access_(params.access_velocity()),
+      row_pass_s_(params.row_pass_seconds()) {
+  Reset();
+}
+
+void MemsDevice::Reset() {
+  sled_ = SledState{0.0, 0.0, 0.0};
+  activity_ = DeviceActivity{};
+  seek_error_rng_ = Rng(seek_error_seed_);
+}
+
+void MemsDevice::EnableSeekErrors(double rate, uint64_t seed) {
+  assert(rate >= 0.0 && rate <= 1.0);
+  seek_error_rate_ = rate;
+  seek_error_seed_ = seed;
+  seek_error_rng_ = Rng(seed);
+}
+
+double MemsDevice::CylinderSeekMs(int32_t from_cyl, int32_t to_cyl) const {
+  return SecondsToMs(
+      kinematics_.SeekSeconds(geometry_.CylinderX(from_cyl), geometry_.CylinderX(to_cyl)));
+}
+
+double MemsDevice::TurnaroundMs(double y) const {
+  return SecondsToMs(kinematics_.TurnaroundSeconds(y, v_access_));
+}
+
+double MemsDevice::EntryY(const Segment& seg, int dir) const {
+  return dir > 0 ? geometry_.RowBoundaryY(seg.row_first)
+                 : geometry_.RowBoundaryY(seg.row_last + 1);
+}
+
+double MemsDevice::ExitY(const Segment& seg, int dir) const {
+  return dir > 0 ? geometry_.RowBoundaryY(seg.row_last + 1)
+                 : geometry_.RowBoundaryY(seg.row_first);
+}
+
+std::vector<MemsDevice::Segment> MemsDevice::SplitIntoSegments(int64_t lbn,
+                                                               int32_t block_count) const {
+  std::vector<Segment> segments;
+  const MemsParams& p = geometry_.params();
+  const int64_t slots = p.slots_per_row();
+  const int64_t rows = p.rows_per_track();
+  const int64_t track_blocks = rows * slots;
+  int64_t remaining_last = lbn + block_count - 1;
+  int64_t cursor = lbn;
+  while (cursor <= remaining_last) {
+    const MemsAddress addr = geometry_.Decode(cursor);
+    // Last LBN of this track (track-aligned arithmetic; serpentine row
+    // order makes Encode of physical row rows-1 the wrong probe).
+    const int64_t track_last = (cursor / track_blocks + 1) * track_blocks - 1;
+    const int64_t seg_last = std::min(track_last, remaining_last);
+    const MemsAddress last_addr = geometry_.Decode(seg_last);
+    segments.push_back(Segment{addr.cylinder, addr.track,
+                               std::min(addr.row, last_addr.row),
+                               std::max(addr.row, last_addr.row)});
+    cursor = seg_last + 1;
+  }
+  return segments;
+}
+
+double MemsDevice::PositioningSeconds(const SledState& state, const Segment& seg,
+                                      int dir) const {
+  const double target_x = geometry_.CylinderX(seg.cylinder);
+  double tx = 0.0;
+  if (target_x != state.x) {
+    tx = kinematics_.SeekSeconds(state.x, target_x) + geometry_.params().settle_seconds();
+  }
+  const double ty = kinematics_.TravelSeconds(state.y, state.vy, EntryY(seg, dir),
+                                              dir * v_access_);
+  return std::max(tx, ty);
+}
+
+double MemsDevice::ServiceRequest(const Request& req, TimeMs start_ms,
+                                  ServiceBreakdown* breakdown) {
+  (void)start_ms;  // the MEMS model has no time-dependent component (no rotation)
+  MSTK_CHECK(req.lbn >= 0 && req.last_lbn() < CapacityBlocks(),
+             "request outside device capacity");
+
+  const std::vector<Segment> segments = SplitIntoSegments(req.lbn, req.block_count);
+  assert(!segments.empty());
+
+  // Initial positioning: pick the cheaper read direction for the first segment.
+  const double pos_up = PositioningSeconds(sled_, segments[0], +1);
+  const double pos_down = PositioningSeconds(sled_, segments[0], -1);
+  int dir = pos_up <= pos_down ? +1 : -1;
+  double positioning_s = std::min(pos_up, pos_down);
+
+  // Seek-error retry (§6.1.3): the servo check fails and the sled backs up
+  // over the sector — up to two turnarounds plus an X re-settle.
+  if (seek_error_rate_ > 0.0 && seek_error_rng_.Bernoulli(seek_error_rate_)) {
+    const double entry_y = EntryY(segments[0], dir);
+    positioning_s += 2.0 * kinematics_.TurnaroundSeconds(entry_y, dir * v_access_) +
+                     geometry_.params().settle_seconds();
+  }
+
+  SledState state;
+  state.x = geometry_.CylinderX(segments[0].cylinder);
+  state.y = ExitY(segments[0], dir);
+  state.vy = dir * v_access_;
+
+  double transfer_s =
+      (segments[0].row_last - segments[0].row_first + 1) * row_pass_s_;
+  double extra_s = 0.0;
+
+  for (size_t i = 1; i < segments.size(); ++i) {
+    const Segment& seg = segments[i];
+    // X step (zero within a cylinder) overlaps the Y reposition.
+    double tx = 0.0;
+    const double target_x = geometry_.CylinderX(seg.cylinder);
+    if (target_x != state.x) {
+      tx = kinematics_.SeekSeconds(state.x, target_x) + geometry_.params().settle_seconds();
+    }
+    // Greedy direction choice; for full-track segments this degenerates to
+    // the serpentine turnaround.
+    const double ty_up =
+        kinematics_.TravelSeconds(state.y, state.vy, EntryY(seg, +1), +v_access_);
+    const double ty_down =
+        kinematics_.TravelSeconds(state.y, state.vy, EntryY(seg, -1), -v_access_);
+    dir = ty_up <= ty_down ? +1 : -1;
+    extra_s += std::max(tx, std::min(ty_up, ty_down));
+
+    state.x = target_x;
+    state.y = ExitY(seg, dir);
+    state.vy = dir * v_access_;
+    transfer_s += (seg.row_last - seg.row_first + 1) * row_pass_s_;
+  }
+
+  sled_ = state;
+
+  const double positioning_ms = SecondsToMs(positioning_s);
+  const double transfer_ms = SecondsToMs(transfer_s);
+  const double extra_ms = SecondsToMs(extra_s);
+  if (breakdown != nullptr) {
+    *breakdown = ServiceBreakdown{positioning_ms, transfer_ms, extra_ms};
+  }
+
+  const double total_ms = positioning_ms + transfer_ms + extra_ms;
+  activity_.busy_ms += total_ms;
+  activity_.positioning_ms += positioning_ms + extra_ms;
+  activity_.transfer_ms += transfer_ms;
+  activity_.requests += 1;
+  if (req.is_read()) {
+    activity_.blocks_read += req.block_count;
+  } else {
+    activity_.blocks_written += req.block_count;
+  }
+  return total_ms;
+}
+
+double MemsDevice::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
+  (void)at_ms;
+  const MemsAddress addr = geometry_.Decode(req.lbn);
+  // Only the first segment matters for the positioning estimate.
+  const int64_t rows = geometry_.params().rows_per_track();
+  const int64_t slots = geometry_.params().slots_per_row();
+  const int64_t track_blocks = rows * slots;
+  const int64_t track_last = (req.lbn / track_blocks + 1) * track_blocks - 1;
+  const int64_t seg_last = std::min(track_last, req.last_lbn());
+  const int32_t other_row = geometry_.Decode(seg_last).row;
+  const Segment seg{addr.cylinder, addr.track, std::min(addr.row, other_row),
+                    std::max(addr.row, other_row)};
+  const double pos_up = PositioningSeconds(sled_, seg, +1);
+  const double pos_down = PositioningSeconds(sled_, seg, -1);
+  return SecondsToMs(std::min(pos_up, pos_down));
+}
+
+}  // namespace mstk

@@ -1,0 +1,100 @@
+// Performance model of a MEMS-based storage device (§2, [GSGN00]).
+//
+// The device tracks the media sled's mechanical state (X offset, Y offset,
+// Y velocity) between requests. Servicing a request:
+//
+//   1. Positioning: an X seek to the target cylinder (plus settling time
+//      whenever the sled moved in X) proceeds in parallel with a Y seek that
+//      delivers the sled to one end of the target row span moving at the
+//      access velocity; total positioning = max(Tx, Ty) (§2.4.1). The device
+//      picks the cheaper of the two media read directions (the media is
+//      readable in both Y directions).
+//   2. Transfer: each pass over a row of tip sectors moves `slots_per_row`
+//      LBNs concurrently and takes tip_sector_bits / per_tip_rate. Track and
+//      cylinder switches mid-transfer cost a turnaround overlapped with the
+//      (tiny) X step + settle.
+#ifndef MSTK_SRC_MEMS_MEMS_DEVICE_H_
+#define MSTK_SRC_MEMS_MEMS_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/storage_device.h"
+#include "src/mems/geometry.h"
+#include "src/mems/kinematics.h"
+#include "src/mems/mems_params.h"
+#include "src/sim/rng.h"
+
+namespace mstk {
+
+// Mechanical state of the media sled between requests.
+struct SledState {
+  double x = 0.0;   // m, sled X offset (always at rest in X between requests)
+  double y = 0.0;   // m, sled Y offset
+  double vy = 0.0;  // m/s, 0 or +/- access velocity
+};
+
+class MemsDevice : public StorageDevice {
+ public:
+  explicit MemsDevice(const MemsParams& params = MemsParams{});
+
+  const char* name() const override { return "mems"; }
+  int64_t CapacityBlocks() const override { return geometry_.capacity_blocks(); }
+  double ServiceRequest(const Request& req, TimeMs start_ms,
+                        ServiceBreakdown* breakdown = nullptr) override;
+  double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
+  void Reset() override;
+
+  // Seek errors (§6.1.3): with probability `rate` per request the servo
+  // misses and the sled retries — up to two Y turnarounds plus an X
+  // re-settle. Deterministic for a given seed; Reset() restores the seed.
+  void EnableSeekErrors(double rate, uint64_t seed);
+
+  const MemsParams& params() const { return geometry_.params(); }
+  const MemsGeometry& geometry() const { return geometry_; }
+  const SledKinematics& kinematics() const { return kinematics_; }
+  const SledState& sled() const { return sled_; }
+  void set_sled(const SledState& state) { sled_ = state; }
+
+  // --- direct model probes (tests, Table 2, ablations) -------------------
+  // Rest-to-rest X seek between cylinders, ms (no settle included).
+  double CylinderSeekMs(int32_t from_cyl, int32_t to_cyl) const;
+  // Settling delay charged after any X motion, ms.
+  double SettleMs() const { return SecondsToMs(params().settle_seconds()); }
+  // Turnaround at Y offset `y` moving at +/- access velocity, ms.
+  double TurnaroundMs(double y) const;
+  // One row pass (smallest transfer quantum), ms.
+  double RowPassMs() const { return SecondsToMs(params().row_pass_seconds()); }
+
+ private:
+  // A contiguous run of rows within one (cylinder, track).
+  struct Segment {
+    int32_t cylinder;
+    int32_t track;
+    int32_t row_first;
+    int32_t row_last;
+  };
+
+  std::vector<Segment> SplitIntoSegments(int64_t lbn, int32_t block_count) const;
+
+  // Positioning time (seconds) from `state` to reading segment `seg` in
+  // direction `dir` (+1 ascending rows, -1 descending). Tx/Ty overlap.
+  double PositioningSeconds(const SledState& state, const Segment& seg, int dir) const;
+
+  // Entry/exit Y offsets for reading `seg` in direction `dir`.
+  double EntryY(const Segment& seg, int dir) const;
+  double ExitY(const Segment& seg, int dir) const;
+
+  MemsGeometry geometry_;
+  SledKinematics kinematics_;
+  SledState sled_;
+  double v_access_;     // m/s
+  double row_pass_s_;   // s
+  double seek_error_rate_ = 0.0;
+  uint64_t seek_error_seed_ = 0;
+  Rng seek_error_rng_{0};
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_MEMS_MEMS_DEVICE_H_

@@ -1,0 +1,133 @@
+// MEMS-based storage device parameters (the paper's Table 1) and the
+// quantities derived from them.
+#ifndef MSTK_SRC_MEMS_MEMS_PARAMS_H_
+#define MSTK_SRC_MEMS_MEMS_PARAMS_H_
+
+#include <cstdint>
+
+#include "src/sim/units.h"
+
+namespace mstk {
+
+// How the spring suspension's restoring force is parameterized (§2.3):
+//  * kBoundedForce — linear in offset, capped at spring_factor * actuator
+//    force at full displacement (the paper's "up to ±75%" wording). Always
+//    physically consistent; gives a gentle turnaround tail.
+//  * kResonant — stiffness from the resonant frequency, c = (2 pi f)^2, the
+//    [GSGN00] parameterization. Stronger than the actuator near the edges;
+//    reproduces the paper's 0.036-1.11 ms turnaround range exactly.
+enum class SpringModel { kBoundedForce, kResonant };
+
+struct MemsParams {
+  // --- Table 1 defaults -----------------------------------------------
+  double sled_mobility_um = 100.0;      // total travel in X and in Y
+  double bit_width_nm = 40.0;           // square bit cell, 0.0016 um^2
+  int total_tips = 6400;
+  int active_tips = 1280;               // simultaneously active
+  int tip_sector_data_bits = 80;        // encoded data+ECC (8 data bytes)
+  int tip_sector_servo_bits = 10;       // servo overhead per tip sector
+  double per_tip_rate_kbitps = 700.0;   // Kbit/s per tip
+  double sled_accel_ms2 = 803.6;        // m/s^2 actuator acceleration
+  double settle_constants = 1.0;        // number of settling time constants
+  double resonant_freq_hz = 739.0;      // sled resonant frequency
+  double spring_factor = 0.75;          // max spring force / actuator force
+  SpringModel spring_model = SpringModel::kBoundedForce;
+
+  // --- layout parameters ----------------------------------------------
+  int tip_sectors_per_lbn = 64;         // 512 B logical sector stripe width
+  int bits_per_region_x = 2500;         // columns (cylinders) per tip region
+  int bits_per_region_y = 2500;         // rows of bits per tip region
+
+  // --- derived ----------------------------------------------------------
+  int tip_sector_bits() const { return tip_sector_data_bits + tip_sector_servo_bits; }
+  // Tip sectors along one tip track (slack bits at the track edges unused).
+  int rows_per_track() const { return bits_per_region_y / tip_sector_bits(); }
+  int tracks_per_cylinder() const { return total_tips / active_tips; }
+  int cylinders() const { return bits_per_region_x; }
+  // Logical blocks transferred in parallel by one row pass of the active tips.
+  int slots_per_row() const { return active_tips / tip_sectors_per_lbn; }
+  int64_t blocks_per_track() const {
+    return static_cast<int64_t>(rows_per_track()) * slots_per_row();
+  }
+  int64_t blocks_per_cylinder() const { return blocks_per_track() * tracks_per_cylinder(); }
+  int64_t capacity_blocks() const { return blocks_per_cylinder() * cylinders(); }
+  int64_t capacity_bytes() const { return capacity_blocks() * kBlockBytes; }
+
+  // Media access velocity (m/s): the sled passes bits under the tips at the
+  // per-tip read rate.
+  double access_velocity() const {
+    return per_tip_rate_kbitps * 1e3 * NmToMeters(bit_width_nm);
+  }
+  // Time for one row pass (one tip sector under every active tip), seconds.
+  double row_pass_seconds() const { return tip_sector_bits() / (per_tip_rate_kbitps * 1e3); }
+  // Sustained streaming bandwidth, bytes/second (all row passes, no seeks).
+  double streaming_bytes_per_second() const {
+    return static_cast<double>(slots_per_row()) * kBlockBytes / row_pass_seconds();
+  }
+
+  // Sled offset half-range (meters): offsets span [-half, +half].
+  double half_range_m() const { return UmToMeters(sled_mobility_um) / 2.0; }
+  // Height of one tip-sector row in sled-offset space (meters).
+  double row_height_m() const { return tip_sector_bits() * NmToMeters(bit_width_nm); }
+  // Y offset of the lower edge of row 0 (rows are centered in the range).
+  double y_base_m() const { return -(rows_per_track() * row_height_m()) / 2.0; }
+  // X offset of cylinder center `c`.
+  double cylinder_x_m(int cylinder) const {
+    const double pitch = NmToMeters(bit_width_nm);
+    return -half_range_m() + (static_cast<double>(cylinder) + 0.5) * pitch;
+  }
+
+  // One settling time constant (seconds): 1 / (2 pi f_resonant) — gives the
+  // paper's ~0.215 ms at the default resonant frequency.
+  double settle_time_constant_s() const { return 1.0 / (6.283185307179586 * resonant_freq_hz); }
+  // Spring coefficient c (s^-2) for the kinematic model, per spring_model.
+  double spring_coeff() const {
+    if (spring_model == SpringModel::kResonant) {
+      const double omega = 6.283185307179586 * resonant_freq_hz;
+      return omega * omega;
+    }
+    return spring_factor * sled_accel_ms2 / half_range_m();
+  }
+  double settle_seconds() const { return settle_constants * settle_time_constant_s(); }
+
+  // Device startup/initialization time (§6.3: ~0.5 ms).
+  double startup_ms = 0.5;
+
+  // --- generation presets -----------------------------------------------
+  // The paper's Table 1 device is the first-generation design. The CMU
+  // group's companion work ([SGNG00] and successors) projected later
+  // generations with smaller bit cells, faster tips, and more parallelism;
+  // these presets follow those scaling trends (projections, not data
+  // sheets).
+  static MemsParams FirstGeneration() { return MemsParams{}; }
+
+  static MemsParams SecondGeneration() {
+    MemsParams p;
+    p.bit_width_nm = 30.0;           // denser media
+    p.bits_per_region_x = 3333;      // 100 um / 30 nm
+    p.bits_per_region_y = 3333;
+    p.per_tip_rate_kbitps = 1000.0;  // faster channel
+    p.active_tips = 3200;            // more concurrent tips (2 tracks/cyl)
+    p.sled_accel_ms2 = 900.0;        // stronger actuators
+    p.settle_constants = 0.5;        // better damping
+    p.resonant_freq_hz = 800.0;
+    return p;
+  }
+
+  static MemsParams ThirdGeneration() {
+    MemsParams p;
+    p.bit_width_nm = 22.0;
+    p.bits_per_region_x = 4545;      // 100 um / 22 nm
+    p.bits_per_region_y = 4545;
+    p.per_tip_rate_kbitps = 1500.0;
+    p.active_tips = 6400;            // all tips concurrently active
+    p.sled_accel_ms2 = 1000.0;
+    p.settle_constants = 0.25;
+    p.resonant_freq_hz = 900.0;
+    return p;
+  }
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_MEMS_MEMS_PARAMS_H_

@@ -1,0 +1,51 @@
+// OS-level power management simulation (§7).
+//
+// Runs a workload through the queueing driver while a power-state machine
+// tracks the device through Active / Startup / Idle / Standby states under
+// an idle policy, charging the configured power in each state and adding
+// the restart latency to requests that arrive in standby.
+#ifndef MSTK_SRC_POWER_POWER_MANAGER_H_
+#define MSTK_SRC_POWER_POWER_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/core/io_scheduler.h"
+#include "src/core/storage_device.h"
+#include "src/power/power_params.h"
+
+namespace mstk {
+
+struct PowerResult {
+  // Energy over the run, joules, split by state.
+  double active_j = 0.0;
+  double media_j = 0.0;  // per-bit sensing/recording energy (§7)
+  double startup_j = 0.0;
+  double idle_j = 0.0;
+  double standby_j = 0.0;
+  // Time in each state, ms.
+  double active_ms = 0.0;
+  double startup_ms = 0.0;
+  double idle_ms = 0.0;
+  double standby_ms = 0.0;
+
+  int64_t restarts = 0;
+  double mean_response_ms = 0.0;
+  double makespan_ms = 0.0;
+
+  double total_j() const { return active_j + media_j + startup_j + idle_j + standby_j; }
+  double mean_power_mw() const {
+    const double total_ms = active_ms + startup_ms + idle_ms + standby_ms;
+    return total_ms > 0.0 ? total_j() * 1e6 / total_ms : 0.0;
+  }
+};
+
+// Open-loop run with power accounting. Device and scheduler are Reset().
+PowerResult RunPowerExperiment(StorageDevice* device, IoScheduler* scheduler,
+                               const std::vector<Request>& requests,
+                               const DevicePowerParams& power, const IdlePolicy& policy);
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_POWER_POWER_MANAGER_H_

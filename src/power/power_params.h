@@ -1,0 +1,84 @@
+// Power-state parameters for the §7 power-management experiments.
+#ifndef MSTK_SRC_POWER_POWER_PARAMS_H_
+#define MSTK_SRC_POWER_POWER_PARAMS_H_
+
+namespace mstk {
+
+struct DevicePowerParams {
+  double active_mw = 0.0;   // servicing a request (electronics + mechanics)
+  double media_mw = 0.0;    // extra draw while bits pass under the heads/tips
+  double idle_mw = 0.0;     // ready (spinning / sled live) but not servicing
+  double standby_mw = 0.0;  // spun down / parked, electronics mostly off
+  double startup_mw = 0.0;  // during restart from standby
+  double restart_ms = 0.0;  // standby -> ready latency
+
+  // MEMS-based storage (§7): ~90% of active power goes to the probe tips
+  // (sensing/recording) — modeled as media_mw charged only during media
+  // transfer, making energy a near-linear function of bits accessed. The
+  // sled itself is light: positioning draws little more than the
+  // electronics. Restart is ~0.5 ms.
+  static DevicePowerParams MemsDefaults() {
+    return DevicePowerParams{140.0, 1260.0, 100.0, 10.0, 1400.0, 0.5};
+  }
+
+  // Server disk (Atlas 10K-like): heavy spindle, ~25 s spin-up (§6.3).
+  static DevicePowerParams ServerDiskDefaults() {
+    return DevicePowerParams{13000.0, 500.0, 7500.0, 1500.0, 23000.0, 25000.0};
+  }
+
+  // Mobile disk (IBM Travelstar/Microdrive-like [IBM99, IBM00]): light
+  // spindle, restart measured at ~40 ms - 2 s; we use a mid value.
+  static DevicePowerParams MobileDiskDefaults() {
+    return DevicePowerParams{2300.0, 200.0, 850.0, 250.0, 3000.0, 1500.0};
+  }
+};
+
+enum class IdlePolicyKind {
+  kAlwaysOn,       // never leave the ready state
+  kImmediateIdle,  // enter standby the moment the queue drains
+  kTimeoutIdle,    // enter standby after a fixed idle timeout
+  kAdaptiveIdle    // multiplicative timeout adaptation [DKM94-style]
+};
+
+struct IdlePolicy {
+  IdlePolicyKind kind = IdlePolicyKind::kAlwaysOn;
+  double timeout_ms = 0.0;  // kTimeoutIdle; initial value for kAdaptiveIdle
+  // kAdaptiveIdle bounds: the timeout halves after a spin-down that paid
+  // off (long standby) and doubles after one that did not (the restart
+  // arrived within `regret_ms` of parking), clamped to [min, max].
+  double min_timeout_ms = 10.0;
+  double max_timeout_ms = 30000.0;
+  double regret_ms = 0.0;  // defaults to the device restart time when 0
+
+  static IdlePolicy AlwaysOn() { return {IdlePolicyKind::kAlwaysOn, 0.0, 0, 0, 0}; }
+  static IdlePolicy Immediate() {
+    return {IdlePolicyKind::kImmediateIdle, 0.0, 0, 0, 0};
+  }
+  static IdlePolicy Timeout(double ms) {
+    return {IdlePolicyKind::kTimeoutIdle, ms, 0, 0, 0};
+  }
+  static IdlePolicy Adaptive(double initial_ms) {
+    IdlePolicy policy;
+    policy.kind = IdlePolicyKind::kAdaptiveIdle;
+    policy.timeout_ms = initial_ms;
+    return policy;
+  }
+
+  const char* name() const {
+    switch (kind) {
+      case IdlePolicyKind::kAlwaysOn:
+        return "always-on";
+      case IdlePolicyKind::kImmediateIdle:
+        return "immediate-idle";
+      case IdlePolicyKind::kTimeoutIdle:
+        return "timeout-idle";
+      case IdlePolicyKind::kAdaptiveIdle:
+        return "adaptive-idle";
+    }
+    return "?";
+  }
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_POWER_POWER_PARAMS_H_

@@ -1,0 +1,25 @@
+#include "src/sched/clook.h"
+
+#include <cassert>
+
+namespace mstk {
+
+Request ClookScheduler::Pop(TimeMs now_ms) {
+  (void)now_ms;
+  assert(!pending_.empty());
+  auto it = pending_.lower_bound(last_lbn_);
+  if (it == pending_.end()) {
+    it = pending_.begin();  // wrap around
+  }
+  Request req = it->second;
+  pending_.erase(it);
+  last_lbn_ = req.last_lbn();
+  return req;
+}
+
+void ClookScheduler::Reset() {
+  pending_.clear();
+  last_lbn_ = 0;
+}
+
+}  // namespace mstk

@@ -1,0 +1,29 @@
+// Cyclical LOOK (C-LOOK, §4.1 [SLW66]): services requests in ascending LBN
+// order, wrapping to the lowest pending LBN when all remaining requests are
+// behind the most recent access.
+#ifndef MSTK_SRC_SCHED_CLOOK_H_
+#define MSTK_SRC_SCHED_CLOOK_H_
+
+#include <map>
+
+#include "src/core/io_scheduler.h"
+
+namespace mstk {
+
+class ClookScheduler : public IoScheduler {
+ public:
+  const char* name() const override { return "C-LOOK"; }
+  void Add(const Request& req) override { pending_.emplace(req.lbn, req); }
+  bool Empty() const override { return pending_.empty(); }
+  int64_t size() const override { return static_cast<int64_t>(pending_.size()); }
+  Request Pop(TimeMs now_ms) override;
+  void Reset() override;
+
+ private:
+  std::multimap<int64_t, Request> pending_;
+  int64_t last_lbn_ = 0;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_SCHED_CLOOK_H_

@@ -1,0 +1,15 @@
+#include "src/sched/fcfs.h"
+
+#include <cassert>
+
+namespace mstk {
+
+Request FcfsScheduler::Pop(TimeMs now_ms) {
+  (void)now_ms;
+  assert(!queue_.empty());
+  Request req = queue_.front();
+  queue_.pop_front();
+  return req;
+}
+
+}  // namespace mstk

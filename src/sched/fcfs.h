@@ -1,0 +1,26 @@
+// First Come First Served (§4.1 baseline).
+#ifndef MSTK_SRC_SCHED_FCFS_H_
+#define MSTK_SRC_SCHED_FCFS_H_
+
+#include <deque>
+
+#include "src/core/io_scheduler.h"
+
+namespace mstk {
+
+class FcfsScheduler : public IoScheduler {
+ public:
+  const char* name() const override { return "FCFS"; }
+  void Add(const Request& req) override { queue_.push_back(req); }
+  bool Empty() const override { return queue_.empty(); }
+  int64_t size() const override { return static_cast<int64_t>(queue_.size()); }
+  Request Pop(TimeMs now_ms) override;
+  void Reset() override { queue_.clear(); }
+
+ private:
+  std::deque<Request> queue_;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_SCHED_FCFS_H_

@@ -1,0 +1,38 @@
+#include "src/sched/look.h"
+
+#include <cassert>
+
+namespace mstk {
+
+Request LookScheduler::Pop(TimeMs now_ms) {
+  (void)now_ms;
+  assert(!pending_.empty());
+  auto it = pending_.end();
+  if (ascending_) {
+    it = pending_.lower_bound(last_lbn_);
+    if (it == pending_.end()) {
+      ascending_ = false;  // reverse: nothing ahead
+    }
+  }
+  if (!ascending_) {
+    auto above = pending_.upper_bound(last_lbn_);
+    if (above == pending_.begin()) {
+      ascending_ = true;  // reverse again: nothing behind
+      it = pending_.begin();
+    } else {
+      it = std::prev(above);
+    }
+  }
+  Request req = it->second;
+  pending_.erase(it);
+  last_lbn_ = req.last_lbn();
+  return req;
+}
+
+void LookScheduler::Reset() {
+  pending_.clear();
+  last_lbn_ = 0;
+  ascending_ = true;
+}
+
+}  // namespace mstk

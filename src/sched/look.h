@@ -1,0 +1,31 @@
+// LOOK (bidirectional elevator): services requests in the current LBN
+// direction, reversing when no pending request remains ahead. The classic
+// middle ground between C-LOOK's fairness and SSTF's greed; included as an
+// extension beyond the paper's four policies.
+#ifndef MSTK_SRC_SCHED_LOOK_H_
+#define MSTK_SRC_SCHED_LOOK_H_
+
+#include <map>
+
+#include "src/core/io_scheduler.h"
+
+namespace mstk {
+
+class LookScheduler : public IoScheduler {
+ public:
+  const char* name() const override { return "LOOK"; }
+  void Add(const Request& req) override { pending_.emplace(req.lbn, req); }
+  bool Empty() const override { return pending_.empty(); }
+  int64_t size() const override { return static_cast<int64_t>(pending_.size()); }
+  Request Pop(TimeMs now_ms) override;
+  void Reset() override;
+
+ private:
+  std::multimap<int64_t, Request> pending_;
+  int64_t last_lbn_ = 0;
+  bool ascending_ = true;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_SCHED_LOOK_H_

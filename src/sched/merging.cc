@@ -1,0 +1,95 @@
+#include "src/sched/merging.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mstk {
+
+void MergingScheduler::Add(const Request& req) {
+  Request incoming = req;
+
+  // Back-merge: a staged request ends exactly where this one starts.
+  auto back = by_end_.find(incoming.lbn);
+  if (back != by_end_.end()) {
+    auto staged = staged_.find(back->second);
+    assert(staged != staged_.end());
+    Request& head = staged->second;
+    if (head.type == incoming.type &&
+        head.block_count + incoming.block_count <= max_merged_blocks_) {
+      by_end_.erase(back);
+      head.block_count += incoming.block_count;
+      head.arrival_ms = std::min(head.arrival_ms, incoming.arrival_ms);
+      by_end_[head.lbn + head.block_count] = head.lbn;
+      ++merges_;
+      // Cascade: the grown request may now touch a staged front-neighbor.
+      auto front = staged_.find(head.lbn + head.block_count);
+      if (front != staged_.end() && front->second.type == head.type &&
+          head.block_count + front->second.block_count <= max_merged_blocks_) {
+        by_end_.erase(head.lbn + head.block_count);
+        by_end_.erase(front->second.lbn + front->second.block_count);
+        head.block_count += front->second.block_count;
+        head.arrival_ms = std::min(head.arrival_ms, front->second.arrival_ms);
+        staged_.erase(front);
+        by_end_[head.lbn + head.block_count] = head.lbn;
+        ++merges_;
+      }
+      return;
+    }
+  }
+
+  // Front-merge: this request ends exactly where a staged one starts (and
+  // no other staged request already occupies the incoming start).
+  auto front = staged_.find(incoming.last_lbn() + 1);
+  if (front != staged_.end() && front->second.type == incoming.type &&
+      front->second.block_count + incoming.block_count <= max_merged_blocks_ &&
+      staged_.find(incoming.lbn) == staged_.end()) {
+    Request merged = front->second;
+    by_end_.erase(merged.lbn + merged.block_count);
+    staged_.erase(front);
+    merged.lbn = incoming.lbn;
+    merged.block_count += incoming.block_count;
+    merged.arrival_ms = std::min(merged.arrival_ms, incoming.arrival_ms);
+    merged.id = incoming.id;
+    staged_.emplace(merged.lbn, merged);
+    by_end_[merged.lbn + merged.block_count] = merged.lbn;
+    ++merges_;
+    return;
+  }
+
+  // Stage it; colliding start LBNs bypass staging entirely.
+  if (staged_.find(incoming.lbn) != staged_.end()) {
+    inner_->Add(incoming);
+    return;
+  }
+  staged_.emplace(incoming.lbn, incoming);
+  by_end_[incoming.lbn + incoming.block_count] = incoming.lbn;
+}
+
+void MergingScheduler::FlushToInner() {
+  for (const auto& [lbn, req] : staged_) {
+    inner_->Add(req);
+  }
+  staged_.clear();
+  by_end_.clear();
+}
+
+bool MergingScheduler::Empty() const { return staged_.empty() && inner_->Empty(); }
+
+int64_t MergingScheduler::size() const {
+  return static_cast<int64_t>(staged_.size()) + inner_->size();
+}
+
+Request MergingScheduler::Pop(TimeMs now_ms) {
+  assert(!Empty());
+  FlushToInner();
+  return inner_->Pop(now_ms);
+}
+
+void MergingScheduler::Reset() {
+  staged_.clear();
+  by_end_.clear();
+  merges_ = 0;
+  inner_->Reset();
+}
+
+}  // namespace mstk

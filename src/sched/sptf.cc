@@ -1,0 +1,33 @@
+#include "src/sched/sptf.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace mstk {
+
+double SptfScheduler::Cost(const Request& req, TimeMs now_ms) const {
+  return device_->EstimatePositioningMs(req, now_ms);
+}
+
+Request SptfScheduler::Pop(TimeMs now_ms) {
+  assert(!pending_.empty());
+  std::size_t best = 0;
+  double best_cost = Cost(pending_[0], now_ms);
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    const double cost = Cost(pending_[i], now_ms);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  Request req = pending_[best];
+  pending_.erase(pending_.begin() + static_cast<int64_t>(best));
+  return req;
+}
+
+double AgedSptfScheduler::Cost(const Request& req, TimeMs now_ms) const {
+  return device_->EstimatePositioningMs(req, now_ms) -
+         age_weight_ * (now_ms - req.arrival_ms);
+}
+
+}  // namespace mstk

@@ -1,0 +1,55 @@
+// Shortest Positioning Time First (§4.1 [SCO90, JW91]): picks the pending
+// request with the smallest true positioning delay, computed by the device
+// model — seek + rotational latency on disks, max(X seek + settle, Y seek)
+// on MEMS-based storage.
+//
+// AgedSptfScheduler adds the aging term of [WGP94]: effective cost =
+// positioning - age_weight * queue_time, trading a little throughput for
+// starvation resistance.
+#ifndef MSTK_SRC_SCHED_SPTF_H_
+#define MSTK_SRC_SCHED_SPTF_H_
+
+#include <vector>
+
+#include "src/core/io_scheduler.h"
+#include "src/core/storage_device.h"
+
+namespace mstk {
+
+class SptfScheduler : public IoScheduler {
+ public:
+  // `device` is borrowed; used only through EstimatePositioningMs.
+  explicit SptfScheduler(const StorageDevice* device) : device_(device) {}
+
+  const char* name() const override { return "SPTF"; }
+  void Add(const Request& req) override { pending_.push_back(req); }
+  bool Empty() const override { return pending_.empty(); }
+  int64_t size() const override { return static_cast<int64_t>(pending_.size()); }
+  Request Pop(TimeMs now_ms) override;
+  void Reset() override { pending_.clear(); }
+
+ protected:
+  // Effective cost used for selection; subclasses refine it.
+  virtual double Cost(const Request& req, TimeMs now_ms) const;
+
+  const StorageDevice* device_;
+  std::vector<Request> pending_;
+};
+
+class AgedSptfScheduler : public SptfScheduler {
+ public:
+  AgedSptfScheduler(const StorageDevice* device, double age_weight)
+      : SptfScheduler(device), age_weight_(age_weight) {}
+
+  const char* name() const override { return "ASPTF"; }
+
+ protected:
+  double Cost(const Request& req, TimeMs now_ms) const override;
+
+ private:
+  double age_weight_;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_SCHED_SPTF_H_

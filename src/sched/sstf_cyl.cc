@@ -1,0 +1,35 @@
+#include "src/sched/sstf_cyl.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace mstk {
+
+Request SstfCylScheduler::Pop(TimeMs now_ms) {
+  (void)now_ms;
+  assert(!pending_.empty());
+  const int64_t here = cylinder_of_(last_lbn_);
+  std::size_t best = 0;
+  int64_t best_cyl = std::abs(cylinder_of_(pending_[0].lbn) - here);
+  int64_t best_lbn = std::abs(pending_[0].lbn - last_lbn_);
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    const int64_t d_cyl = std::abs(cylinder_of_(pending_[i].lbn) - here);
+    const int64_t d_lbn = std::abs(pending_[i].lbn - last_lbn_);
+    if (d_cyl < best_cyl || (d_cyl == best_cyl && d_lbn < best_lbn)) {
+      best_cyl = d_cyl;
+      best_lbn = d_lbn;
+      best = i;
+    }
+  }
+  Request req = pending_[best];
+  pending_.erase(pending_.begin() + static_cast<int64_t>(best));
+  last_lbn_ = req.last_lbn();
+  return req;
+}
+
+void SstfCylScheduler::Reset() {
+  pending_.clear();
+  last_lbn_ = 0;
+}
+
+}  // namespace mstk

@@ -1,0 +1,40 @@
+// Cylinder-aware SSTF: the middle rung of the scheduling-knowledge ladder
+// (§2.4.10). SSTF_LBN knows only LBNs; SPTF knows the full mechanical
+// model; this scheduler knows just the logical-to-cylinder mapping (cheap
+// for a host to mirror) and picks the request with the smallest cylinder
+// distance, breaking ties by LBN distance. On MEMS-based storage this
+// captures most of what matters when settle dominates (every X move costs
+// the same settle) while remaining blind to Y.
+#ifndef MSTK_SRC_SCHED_SSTF_CYL_H_
+#define MSTK_SRC_SCHED_SSTF_CYL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/io_scheduler.h"
+
+namespace mstk {
+
+class SstfCylScheduler : public IoScheduler {
+ public:
+  // `cylinder_of` maps an LBN to its cylinder (device geometry knowledge).
+  explicit SstfCylScheduler(std::function<int64_t(int64_t)> cylinder_of)
+      : cylinder_of_(std::move(cylinder_of)) {}
+
+  const char* name() const override { return "SSTF_CYL"; }
+  void Add(const Request& req) override { pending_.push_back(req); }
+  bool Empty() const override { return pending_.empty(); }
+  int64_t size() const override { return static_cast<int64_t>(pending_.size()); }
+  Request Pop(TimeMs now_ms) override;
+  void Reset() override;
+
+ private:
+  std::function<int64_t(int64_t)> cylinder_of_;
+  std::vector<Request> pending_;
+  int64_t last_lbn_ = 0;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_SCHED_SSTF_CYL_H_

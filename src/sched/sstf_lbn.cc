@@ -1,0 +1,38 @@
+#include "src/sched/sstf_lbn.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace mstk {
+
+void SstfLbnScheduler::Add(const Request& req) { pending_.emplace(req.lbn, req); }
+
+Request SstfLbnScheduler::Pop(TimeMs now_ms) {
+  (void)now_ms;
+  assert(!pending_.empty());
+  // Closest key to last_lbn_: candidates are the first key >= last_lbn_ and
+  // its predecessor.
+  auto above = pending_.lower_bound(last_lbn_);
+  auto chosen = pending_.end();
+  if (above == pending_.end()) {
+    chosen = std::prev(pending_.end());
+  } else if (above == pending_.begin()) {
+    chosen = above;
+  } else {
+    const auto below = std::prev(above);
+    const int64_t d_above = above->first - last_lbn_;
+    const int64_t d_below = last_lbn_ - below->first;
+    chosen = d_above < d_below ? above : below;
+  }
+  Request req = chosen->second;
+  pending_.erase(chosen);
+  last_lbn_ = req.last_lbn();
+  return req;
+}
+
+void SstfLbnScheduler::Reset() {
+  pending_.clear();
+  last_lbn_ = 0;
+}
+
+}  // namespace mstk

@@ -1,0 +1,30 @@
+// Shortest Seek Time First, approximated by LBN distance ("SSTF_LBN", §4.1):
+// picks the pending request whose start LBN is closest to the last LBN the
+// device accessed. This is the practical host-side SSTF — few host OSes can
+// compute true seek times [WGP94].
+#ifndef MSTK_SRC_SCHED_SSTF_LBN_H_
+#define MSTK_SRC_SCHED_SSTF_LBN_H_
+
+#include <map>
+
+#include "src/core/io_scheduler.h"
+
+namespace mstk {
+
+class SstfLbnScheduler : public IoScheduler {
+ public:
+  const char* name() const override { return "SSTF_LBN"; }
+  void Add(const Request& req) override;
+  bool Empty() const override { return pending_.empty(); }
+  int64_t size() const override { return static_cast<int64_t>(pending_.size()); }
+  Request Pop(TimeMs now_ms) override;
+  void Reset() override;
+
+ private:
+  std::multimap<int64_t, Request> pending_;  // keyed by start LBN
+  int64_t last_lbn_ = 0;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_SCHED_SSTF_LBN_H_

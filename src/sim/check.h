@@ -1,0 +1,21 @@
+// Always-on invariant checks for public API boundaries.
+//
+// assert() disappears in release builds, but a caller handing the library an
+// out-of-range LBN or extent must fail loudly rather than walk off arrays.
+// Use MSTK_CHECK at API boundaries; keep assert() for internal invariants.
+#ifndef MSTK_SRC_SIM_CHECK_H_
+#define MSTK_SRC_SIM_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define MSTK_CHECK(cond, msg)                                                      \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      std::fprintf(stderr, "MSTK_CHECK failed at %s:%d: %s: %s\n", __FILE__,       \
+                   __LINE__, #cond, msg);                                          \
+      std::abort();                                                                \
+    }                                                                              \
+  } while (0)
+
+#endif  // MSTK_SRC_SIM_CHECK_H_

@@ -1,0 +1,40 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mstk {
+
+int64_t EventQueue::Push(TimeMs at_ms, Callback cb) {
+  const int64_t id = next_seq_++;
+  heap_.push(Key{at_ms, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool EventQueue::Cancel(int64_t event_id) { return callbacks_.erase(event_id) > 0; }
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && callbacks_.find(heap_.top().seq) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+TimeMs EventQueue::PeekTime() {
+  SkipCancelled();
+  assert(!heap_.empty() && "PeekTime on empty queue");
+  return heap_.top().time_ms;
+}
+
+EventQueue::Event EventQueue::Pop() {
+  SkipCancelled();
+  assert(!heap_.empty() && "Pop on empty queue");
+  const Key key = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(key.seq);
+  Event event{key.time_ms, key.seq, std::move(it->second)};
+  callbacks_.erase(it);
+  return event;
+}
+
+}  // namespace mstk

@@ -1,0 +1,70 @@
+// Time-ordered event queue for the discrete-event simulator.
+//
+// Events with equal timestamps fire in insertion order (stable), which keeps
+// runs deterministic regardless of heap tie-breaking. Cancellation is O(1)
+// with lazy removal from the heap.
+#ifndef MSTK_SRC_SIM_EVENT_QUEUE_H_
+#define MSTK_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/units.h"
+
+namespace mstk {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Enqueues `cb` to fire at absolute time `at_ms`. Returns the event id,
+  // usable with Cancel().
+  int64_t Push(TimeMs at_ms, Callback cb);
+
+  // Cancels a pending event. Returns false if the event already fired or was
+  // already cancelled.
+  bool Cancel(int64_t event_id);
+
+  bool Empty() const { return callbacks_.empty(); }
+  int64_t size() const { return static_cast<int64_t>(callbacks_.size()); }
+
+  // Time of the earliest live event. Requires !Empty().
+  TimeMs PeekTime();
+
+  struct Event {
+    TimeMs time_ms = 0;
+    int64_t id = -1;
+    Callback callback;
+  };
+
+  // Removes and returns the earliest live event. Requires !Empty().
+  Event Pop();
+
+ private:
+  struct Key {
+    TimeMs time_ms;
+    int64_t seq;  // insertion order; doubles as the event id
+  };
+  struct Later {
+    bool operator()(const Key& a, const Key& b) const {
+      if (a.time_ms != b.time_ms) {
+        return a.time_ms > b.time_ms;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops heap entries whose callbacks were cancelled.
+  void SkipCancelled();
+
+  std::priority_queue<Key, std::vector<Key>, Later> heap_;
+  std::unordered_map<int64_t, Callback> callbacks_;
+  int64_t next_seq_ = 0;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,43 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mstk {
+
+int64_t Simulator::ScheduleAt(TimeMs at_ms, Callback cb) {
+  assert(at_ms >= now_ms_ && "event scheduled in the past");
+  return queue_.Push(at_ms, std::move(cb));
+}
+
+int64_t Simulator::ScheduleAfter(TimeMs delay_ms, Callback cb) {
+  assert(delay_ms >= 0.0 && "negative delay");
+  return queue_.Push(now_ms_ + delay_ms, std::move(cb));
+}
+
+int64_t Simulator::Run() {
+  int64_t fired = 0;
+  while (!queue_.Empty()) {
+    EventQueue::Event event = queue_.Pop();
+    now_ms_ = event.time_ms;
+    event.callback();
+    ++fired;
+  }
+  return fired;
+}
+
+int64_t Simulator::RunUntil(TimeMs until_ms) {
+  int64_t fired = 0;
+  while (!queue_.Empty() && queue_.PeekTime() <= until_ms) {
+    EventQueue::Event event = queue_.Pop();
+    now_ms_ = event.time_ms;
+    event.callback();
+    ++fired;
+  }
+  if (now_ms_ < until_ms) {
+    now_ms_ = until_ms;
+  }
+  return fired;
+}
+
+}  // namespace mstk

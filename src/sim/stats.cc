@@ -1,0 +1,119 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace mstk {
+
+void SummaryStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+double SummaryStats::SquaredCoefficientOfVariation() const {
+  const double mu = mean();
+  if (mu == 0.0) {
+    return 0.0;
+  }
+  return variance() / (mu * mu);
+}
+
+void SummaryStats::Merge(const SummaryStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double total = static_cast<double>(count_ + other.count_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  assert(hi > lo && bins > 0);
+  counts_.assign(static_cast<size_t>(bins), 0);
+  bin_width_ = (hi - lo) / bins;
+}
+
+void Histogram::Add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const int bin = static_cast<int>((x - lo_) / bin_width_);
+  ++counts_[static_cast<size_t>(std::min(bin, bins() - 1))];
+}
+
+double Histogram::bin_lo(int i) const { return lo_ + bin_width_ * i; }
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return lo_;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = static_cast<double>(underflow_);
+  if (target <= cumulative) {
+    return lo_;
+  }
+  for (int i = 0; i < bins(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[static_cast<size_t>(i)]);
+    if (target <= next && counts_[static_cast<size_t>(i)] > 0) {
+      const double frac = (target - cumulative) / static_cast<double>(counts_[static_cast<size_t>(i)]);
+      return bin_lo(i) + frac * bin_width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString(int width) const {
+  int64_t peak = 1;
+  for (const int64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream out;
+  for (int i = 0; i < bins(); ++i) {
+    const int64_t c = counts_[static_cast<size_t>(i)];
+    const int bar = static_cast<int>(static_cast<double>(c) / static_cast<double>(peak) * width);
+    out << "[" << bin_lo(i) << ", " << bin_hi(i) << ") " << std::string(static_cast<size_t>(bar), '#')
+        << " " << c << "\n";
+  }
+  return out.str();
+}
+
+double SampleSet::Quantile(double q) {
+  assert(!samples_.empty());
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace mstk

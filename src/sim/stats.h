@@ -1,0 +1,95 @@
+// Online statistics used by experiment metrics.
+#ifndef MSTK_SRC_SIM_STATS_H_
+#define MSTK_SRC_SIM_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mstk {
+
+// Numerically stable running summary (Welford's algorithm).
+class SummaryStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Population variance; the paper's fairness metric uses sigma^2/mu^2 of the
+  // full sample, so the population form is the right one.
+  double variance() const { return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0; }
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  // sigma^2 / mu^2 — the "squared coefficient of variation" starvation
+  // resistance metric from [TP72, WGP94] used in Figs 5(b)/6(b)/7.
+  double SquaredCoefficientOfVariation() const;
+
+  // Merges another summary into this one (parallel/partitioned collection).
+  void Merge(const SummaryStats& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  int bins() const { return static_cast<int>(counts_.size()); }
+  int64_t bin_count(int i) const { return counts_[static_cast<size_t>(i)]; }
+  double bin_lo(int i) const;
+  double bin_hi(int i) const { return bin_lo(i + 1); }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+
+  // Linear-interpolated quantile estimate, q in [0, 1]. Values in the
+  // under/overflow buckets clamp to the histogram range.
+  double Quantile(double q) const;
+
+  // Multi-line ASCII rendering (for example programs).
+  std::string ToString(int width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t count_ = 0;
+};
+
+// Exact-quantile helper that stores samples. Fine for <= a few million values.
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+
+  // Exact quantile (nearest-rank with interpolation). Sorts lazily.
+  double Quantile(double q);
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_SIM_STATS_H_

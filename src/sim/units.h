@@ -1,0 +1,31 @@
+// Unit conventions and conversion helpers used across mstk.
+//
+// Simulation time is a double in MILLISECONDS (matching the units the paper
+// reports). Device physics (src/mems kinematics) work internally in SI
+// (seconds, meters) and convert at the module boundary with these helpers.
+#ifndef MSTK_SRC_SIM_UNITS_H_
+#define MSTK_SRC_SIM_UNITS_H_
+
+namespace mstk {
+
+// Simulation time, in milliseconds.
+using TimeMs = double;
+
+inline constexpr double kMsPerSecond = 1e3;
+inline constexpr double kUsPerMs = 1e3;
+inline constexpr double kSecondsPerMs = 1e-3;
+
+inline constexpr double kMetersPerMicrometer = 1e-6;
+inline constexpr double kMetersPerNanometer = 1e-9;
+
+constexpr double SecondsToMs(double seconds) { return seconds * kMsPerSecond; }
+constexpr double MsToSeconds(double ms) { return ms * kSecondsPerMs; }
+constexpr double UmToMeters(double um) { return um * kMetersPerMicrometer; }
+constexpr double NmToMeters(double nm) { return nm * kMetersPerNanometer; }
+
+// Logical block size used throughout (bytes). The paper's logical sector.
+inline constexpr int kBlockBytes = 512;
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_SIM_UNITS_H_

@@ -1,0 +1,86 @@
+#include "src/workload/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/sim/stats.h"
+
+namespace mstk {
+
+WorkloadProfile AnalyzeWorkload(const std::vector<Request>& requests) {
+  WorkloadProfile profile;
+  profile.requests = static_cast<int64_t>(requests.size());
+  if (requests.empty()) {
+    return profile;
+  }
+
+  SummaryStats sizes;
+  SummaryStats gaps;
+  SummaryStats jumps;
+  std::vector<double> jump_samples;
+  int64_t reads = 0;
+  int64_t sequential = 0;
+  int64_t footprint = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Request& req = requests[i];
+    reads += req.is_read();
+    sizes.Add(static_cast<double>(req.bytes()));
+    profile.max_bytes = std::max(profile.max_bytes, req.bytes());
+    footprint = std::max(footprint, req.last_lbn() + 1);
+    if (i > 0) {
+      gaps.Add(req.arrival_ms - requests[i - 1].arrival_ms);
+      const int64_t prev_end = requests[i - 1].last_lbn() + 1;
+      const int64_t jump = std::abs(req.lbn - prev_end);
+      sequential += jump == 0;
+      jumps.Add(static_cast<double>(jump));
+      jump_samples.push_back(static_cast<double>(jump));
+    }
+  }
+
+  profile.duration_ms = requests.back().arrival_ms - requests.front().arrival_ms;
+  profile.mean_rate_per_s =
+      profile.duration_ms > 0.0
+          ? static_cast<double>(requests.size()) / (profile.duration_ms / 1000.0)
+          : 0.0;
+  profile.read_fraction = static_cast<double>(reads) / static_cast<double>(requests.size());
+  profile.mean_bytes = sizes.mean();
+  profile.interarrival_mean_ms = gaps.mean();
+  profile.interarrival_scv = gaps.SquaredCoefficientOfVariation();
+  profile.sequential_fraction =
+      requests.size() > 1
+          ? static_cast<double>(sequential) / static_cast<double>(requests.size() - 1)
+          : 0.0;
+  profile.mean_lbn_jump = jumps.mean();
+  if (!jump_samples.empty()) {
+    std::nth_element(jump_samples.begin(),
+                     jump_samples.begin() + static_cast<int64_t>(jump_samples.size() / 2),
+                     jump_samples.end());
+    profile.median_lbn_jump = jump_samples[jump_samples.size() / 2];
+  }
+  profile.footprint_blocks = footprint;
+  return profile;
+}
+
+std::string FormatProfile(const WorkloadProfile& p) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "requests:            %lld\n"
+      "duration:            %.1f s  (%.1f req/s)\n"
+      "read fraction:       %.3f\n"
+      "mean size:           %.0f B  (max %lld)\n"
+      "interarrival:        %.2f ms mean, scv %.2f%s\n"
+      "sequentiality:       %.1f%% of requests continue the previous one\n"
+      "LBN jump:            mean %.0f, median %.0f blocks\n"
+      "footprint:           %.2f GB\n",
+      static_cast<long long>(p.requests), p.duration_ms / 1000.0, p.mean_rate_per_s,
+      p.read_fraction, p.mean_bytes, static_cast<long long>(p.max_bytes),
+      p.interarrival_mean_ms, p.interarrival_scv,
+      p.interarrival_scv > 1.5 ? " (bursty)" : "",
+      p.sequential_fraction * 100.0, p.mean_lbn_jump, p.median_lbn_jump,
+      static_cast<double>(p.footprint_blocks) * kBlockBytes / 1e9);
+  return buf;
+}
+
+}  // namespace mstk

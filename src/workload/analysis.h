@@ -1,0 +1,48 @@
+// Workload characterization: the summary statistics storage papers report
+// about their traces (arrival burstiness, size mix, spatial locality,
+// sequentiality). Used by the mstk_trace tool and by tests that validate
+// the synthetic generators against their advertised character.
+#ifndef MSTK_SRC_WORKLOAD_ANALYSIS_H_
+#define MSTK_SRC_WORKLOAD_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/request.h"
+
+namespace mstk {
+
+struct WorkloadProfile {
+  int64_t requests = 0;
+  double duration_ms = 0.0;
+  double mean_rate_per_s = 0.0;
+
+  double read_fraction = 0.0;
+  double mean_bytes = 0.0;
+  int64_t max_bytes = 0;
+
+  double interarrival_mean_ms = 0.0;
+  // Squared coefficient of variation of interarrival times: 1 for Poisson,
+  // >1 for bursty arrivals.
+  double interarrival_scv = 0.0;
+
+  // Fraction of requests that start exactly where the previous one ended.
+  double sequential_fraction = 0.0;
+  // |start(i) - end(i-1)| statistics, in blocks.
+  double mean_lbn_jump = 0.0;
+  double median_lbn_jump = 0.0;
+
+  // Highest block touched + 1.
+  int64_t footprint_blocks = 0;
+};
+
+// Computes the profile. Requests must be in arrival order.
+WorkloadProfile AnalyzeWorkload(const std::vector<Request>& requests);
+
+// Multi-line human-readable rendering.
+std::string FormatProfile(const WorkloadProfile& profile);
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_WORKLOAD_ANALYSIS_H_

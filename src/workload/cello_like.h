@@ -1,0 +1,44 @@
+// Synthetic stand-in for the HP Cello '92 trace (§4.3).
+//
+// The real trace (a week of disk activity from an HP-UX development/mail/news
+// server [RW93]) is not redistributable; this generator reproduces the
+// characteristics the paper's experiments depend on:
+//   * write-dominated mix (~57% writes — UNIX servers of the era pushed
+//     metadata and delayed writes),
+//   * bursty arrivals (two-state modulated Poisson: quiet vs. flurry),
+//   * strong spatial skew (Zipf-popular hot extents, e.g. filesystem
+//     metadata regions) plus occasional sequential runs,
+//   * small requests (mostly 2-8 KB, heavier tail for reads).
+#ifndef MSTK_SRC_WORKLOAD_CELLO_LIKE_H_
+#define MSTK_SRC_WORKLOAD_CELLO_LIKE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/request.h"
+#include "src/sim/rng.h"
+
+namespace mstk {
+
+struct CelloLikeConfig {
+  int64_t request_count = 10000;
+  int64_t capacity_blocks = 0;  // required; workload spans ~2 GB of it
+  // Base mean arrival rate (requests/s) before scaling; Cello averaged a few
+  // tens of requests per second with large bursts.
+  double base_rate_per_s = 50.0;
+  // Trace time scale factor (§4.3): scale 2 doubles the arrival rate.
+  double scale = 1.0;
+  double write_fraction = 0.57;
+  // Burstiness: flurries arrive at burst_factor times the quiet rate.
+  double burst_factor = 8.0;
+  double burst_fraction = 0.25;  // fraction of time spent in flurries
+  int hot_extents = 512;         // number of Zipf-popular extents
+  double zipf_theta = 0.95;
+  double sequential_prob = 0.35;  // continue the previous access' LBN run
+};
+
+std::vector<Request> GenerateCelloLike(const CelloLikeConfig& config, Rng& rng);
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_WORKLOAD_CELLO_LIKE_H_

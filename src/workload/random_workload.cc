@@ -1,0 +1,36 @@
+#include "src/workload/random_workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/sim/units.h"
+
+namespace mstk {
+
+std::vector<Request> GenerateRandomWorkload(const RandomWorkloadConfig& config, Rng& rng) {
+  assert(config.capacity_blocks > 0);
+  assert(config.arrival_rate_per_s > 0.0);
+  std::vector<Request> requests;
+  requests.reserve(static_cast<size_t>(config.request_count));
+  const double mean_interarrival_ms = 1000.0 / config.arrival_rate_per_s;
+  double now_ms = 0.0;
+  for (int64_t i = 0; i < config.request_count; ++i) {
+    now_ms += rng.Exponential(mean_interarrival_ms);
+    Request req;
+    req.id = i;
+    req.arrival_ms = now_ms;
+    req.type = rng.Bernoulli(config.read_fraction) ? IoType::kRead : IoType::kWrite;
+    const double bytes = rng.Exponential(config.mean_request_bytes);
+    req.block_count = std::max<int32_t>(
+        1, static_cast<int32_t>(std::ceil(bytes / kBlockBytes)));
+    req.block_count = std::min<int32_t>(
+        req.block_count,
+        static_cast<int32_t>(std::min<int64_t>(config.capacity_blocks, 1 << 20)));
+    req.lbn = rng.UniformInt(config.capacity_blocks - req.block_count + 1);
+    requests.push_back(req);
+  }
+  return requests;
+}
+
+}  // namespace mstk

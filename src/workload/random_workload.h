@@ -1,0 +1,27 @@
+// The paper's synthetic "random" workload (§3): Poisson arrivals, 67% reads,
+// exponentially distributed sizes with a 4 KB mean, start locations uniform
+// over the device capacity.
+#ifndef MSTK_SRC_WORKLOAD_RANDOM_WORKLOAD_H_
+#define MSTK_SRC_WORKLOAD_RANDOM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/request.h"
+#include "src/sim/rng.h"
+
+namespace mstk {
+
+struct RandomWorkloadConfig {
+  double arrival_rate_per_s = 100.0;   // mean of the exponential interarrivals
+  double read_fraction = 0.67;
+  double mean_request_bytes = 4096.0;  // exponential; rounded up to >= 1 block
+  int64_t request_count = 10000;
+  int64_t capacity_blocks = 0;         // required
+};
+
+std::vector<Request> GenerateRandomWorkload(const RandomWorkloadConfig& config, Rng& rng);
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_WORKLOAD_RANDOM_WORKLOAD_H_

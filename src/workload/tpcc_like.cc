@@ -1,0 +1,53 @@
+#include "src/workload/tpcc_like.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/sim/units.h"
+
+namespace mstk {
+
+std::vector<Request> GenerateTpccLike(const TpccLikeConfig& config, Rng& rng) {
+  assert(config.capacity_blocks > 0);
+  assert(config.scale > 0.0);
+  const int64_t db_blocks = std::min(
+      config.capacity_blocks,
+      static_cast<int64_t>(config.database_bytes / kBlockBytes));
+  // Log lives just past the database region (wrapping if needed).
+  const int64_t log_blocks = std::max<int64_t>(config.page_blocks * 64,
+                                               db_blocks / 16);
+  const int64_t log_base = std::min(db_blocks, config.capacity_blocks - log_blocks);
+
+  std::vector<Request> requests;
+  requests.reserve(static_cast<size_t>(config.request_count));
+  const double mean_gap_ms = 1000.0 / config.base_rate_per_s;
+  double now_ms = 0.0;
+  int64_t log_cursor = 0;
+  for (int64_t i = 0; i < config.request_count; ++i) {
+    now_ms += rng.Exponential(mean_gap_ms);
+    Request req;
+    req.id = i;
+    req.arrival_ms = now_ms / config.scale;
+    if (rng.Bernoulli(config.log_fraction)) {
+      // Sequential log append (small, write).
+      req.type = IoType::kWrite;
+      req.block_count = 8;  // 4 KB log record batch
+      req.lbn = log_base + log_cursor;
+      log_cursor += req.block_count;
+      if (log_cursor + req.block_count >= log_blocks) {
+        log_cursor = 0;  // circular log
+      }
+    } else {
+      req.type = rng.Bernoulli(config.read_fraction) ? IoType::kRead : IoType::kWrite;
+      req.block_count = config.page_blocks;
+      // Page-aligned random access within the database footprint.
+      const int64_t pages = db_blocks / config.page_blocks;
+      req.lbn = rng.UniformInt(pages) * config.page_blocks;
+    }
+    requests.push_back(req);
+  }
+  return requests;
+}
+
+}  // namespace mstk

@@ -1,0 +1,39 @@
+// Synthetic stand-in for the TPC-C disk trace (§4.3).
+//
+// The real trace (Microsoft SQL Server running TPC-C on a 1 GB database
+// striped over two disks [RFGN00]) is not redistributable. This generator
+// reproduces the properties §4.3's analysis relies on:
+//   * steady OLTP arrivals with many concurrently pending requests,
+//   * a small footprint (the 1 GB database), so pending requests sit at
+//     very small inter-LBN distances — the regime where SPTF's true
+//     positioning knowledge beats LBN-based scheduling,
+//   * random 8 KB page reads/writes into the database region (B-tree leaf
+//     accesses), with a read-dominated mix,
+//   * a hot, strictly sequential log-write stream.
+#ifndef MSTK_SRC_WORKLOAD_TPCC_LIKE_H_
+#define MSTK_SRC_WORKLOAD_TPCC_LIKE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/request.h"
+#include "src/sim/rng.h"
+
+namespace mstk {
+
+struct TpccLikeConfig {
+  int64_t request_count = 10000;
+  int64_t capacity_blocks = 0;  // required
+  double base_rate_per_s = 200.0;
+  double scale = 1.0;           // §4.3 trace time scale factor
+  double database_bytes = 1024.0 * 1024 * 1024;  // 1 GB footprint
+  double log_fraction = 0.15;   // fraction of requests that are log appends
+  double read_fraction = 0.65;  // of the non-log (page) requests
+  int32_t page_blocks = 16;     // 8 KB pages
+};
+
+std::vector<Request> GenerateTpccLike(const TpccLikeConfig& config, Rng& rng);
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_WORKLOAD_TPCC_LIKE_H_

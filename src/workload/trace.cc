@@ -1,0 +1,131 @@
+#include "src/workload/trace.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mstk {
+
+bool WriteTraceFile(const std::string& path, const std::vector<Request>& requests) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out.precision(15);  // preserve arrival times exactly enough to round-trip
+  out << "# mstk trace: arrival_ms R|W lbn block_count\n";
+  for (const Request& req : requests) {
+    out << req.arrival_ms << ' ' << (req.is_read() ? 'R' : 'W') << ' ' << req.lbn << ' '
+        << req.block_count << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::vector<Request> ReadTraceFile(const std::string& path, std::string* error) {
+  std::vector<Request> requests;
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return {};
+  }
+  std::string line;
+  int64_t line_no = 0;
+  int64_t id = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    Request req;
+    char type = 0;
+    if (!(fields >> req.arrival_ms >> type >> req.lbn >> req.block_count) ||
+        (type != 'R' && type != 'W') || req.block_count <= 0 || req.lbn < 0 ||
+        req.arrival_ms < 0.0) {
+      if (error != nullptr) {
+        *error = path + ": bad record on line " + std::to_string(line_no);
+      }
+      return {};
+    }
+    req.type = type == 'R' ? IoType::kRead : IoType::kWrite;
+    req.id = id++;
+    requests.push_back(req);
+  }
+  return requests;
+}
+
+std::vector<Request> ReadDiskSimTrace(const std::string& path, int devno,
+                                      std::string* error) {
+  std::vector<Request> requests;
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return {};
+  }
+  std::string line;
+  int64_t line_no = 0;
+  int64_t id = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    double arrival_s = 0.0;
+    int dev = 0;
+    int64_t blkno = 0;
+    int32_t size = 0;
+    int flags = 0;
+    if (!(fields >> arrival_s >> dev >> blkno >> size >> flags) || size <= 0 ||
+        blkno < 0 || arrival_s < 0.0) {
+      if (error != nullptr) {
+        *error = path + ": bad DiskSim record on line " + std::to_string(line_no);
+      }
+      return {};
+    }
+    if (devno >= 0 && dev != devno) {
+      continue;
+    }
+    Request req;
+    req.id = id++;
+    req.arrival_ms = arrival_s * 1000.0;
+    req.lbn = blkno;
+    req.block_count = size;
+    req.type = (flags & 1) != 0 ? IoType::kRead : IoType::kWrite;
+    requests.push_back(req);
+  }
+  return requests;
+}
+
+std::vector<Request> ScaleTrace(const std::vector<Request>& requests, double scale) {
+  assert(scale > 0.0);
+  std::vector<Request> scaled = requests;
+  for (size_t i = 0; i < scaled.size(); ++i) {
+    scaled[i].arrival_ms = requests[i].arrival_ms / scale;
+    scaled[i].id = static_cast<int64_t>(i);
+  }
+  return scaled;
+}
+
+std::vector<Request> ClampTraceToCapacity(const std::vector<Request>& requests,
+                                          int64_t capacity_blocks) {
+  std::vector<Request> clamped;
+  clamped.reserve(requests.size());
+  for (Request req : requests) {
+    if (req.lbn >= capacity_blocks) {
+      continue;
+    }
+    if (req.last_lbn() >= capacity_blocks) {
+      req.block_count = static_cast<int32_t>(capacity_blocks - req.lbn);
+    }
+    req.id = static_cast<int64_t>(clamped.size());
+    clamped.push_back(req);
+  }
+  return clamped;
+}
+
+}  // namespace mstk

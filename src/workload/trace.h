@@ -1,0 +1,48 @@
+// ASCII I/O trace files.
+//
+// Format, one request per line (comments start with '#'):
+//
+//     <arrival_ms> <R|W> <lbn> <block_count>
+//
+// A time scale factor can be applied on load, reproducing the paper's §4.3
+// methodology: "the traced inter-arrival times are scaled"; scale 2 halves
+// every interarrival gap (doubling the arrival rate).
+#ifndef MSTK_SRC_WORKLOAD_TRACE_H_
+#define MSTK_SRC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/request.h"
+
+namespace mstk {
+
+// Writes requests to `path`. Returns false on I/O failure.
+bool WriteTraceFile(const std::string& path, const std::vector<Request>& requests);
+
+// Reads a trace. Returns an empty vector on I/O or parse failure and sets
+// `*error` when provided.
+std::vector<Request> ReadTraceFile(const std::string& path, std::string* error = nullptr);
+
+// Reads a DiskSim-format ASCII trace [GWP98] — the format the paper's own
+// experiments consumed. Five whitespace-separated fields per line:
+//
+//     <arrival_seconds> <devno> <blkno> <size_blocks> <flags>
+//
+// where bit 0 of `flags` set means READ (DiskSim convention). Requests for
+// device numbers other than `devno` are skipped (use -1 for all devices).
+std::vector<Request> ReadDiskSimTrace(const std::string& path, int devno = -1,
+                                      std::string* error = nullptr);
+
+// Divides all arrival times by `scale` (scale 2 => double the arrival rate)
+// and renumbers ids. Requests must be sorted by arrival time.
+std::vector<Request> ScaleTrace(const std::vector<Request>& requests, double scale);
+
+// Clamps request extents to a device capacity (drops requests that start
+// beyond it, truncates those that run off the end).
+std::vector<Request> ClampTraceToCapacity(const std::vector<Request>& requests,
+                                          int64_t capacity_blocks);
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,179 @@
+#include "src/fs/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sim/rng.h"
+
+namespace mstk {
+namespace {
+
+AllocatorConfig FirstFit(int64_t capacity) {
+  AllocatorConfig config;
+  config.policy = AllocPolicy::kFirstFit;
+  config.capacity_blocks = capacity;
+  return config;
+}
+
+TEST(AllocatorTest, FirstFitStartsLow) {
+  Allocator alloc(FirstFit(10000));
+  EXPECT_EQ(alloc.AllocMetadata(0), 0);
+  EXPECT_EQ(alloc.AllocMetadata(0), 1);
+  const auto data = alloc.AllocData(100, 0);
+  ASSERT_EQ(data.size(), 1u);
+  EXPECT_EQ(data[0], (PhysExtent{2, 100}));
+  EXPECT_EQ(alloc.free_blocks(), 10000 - 102);
+}
+
+TEST(AllocatorTest, FreeCoalesces) {
+  Allocator alloc(FirstFit(1000));
+  const auto a = alloc.AllocData(100, 0);
+  const auto b = alloc.AllocData(100, 0);
+  const auto c = alloc.AllocData(100, 0);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  ASSERT_EQ(c.size(), 1u);
+  alloc.Free(a[0]);
+  alloc.Free(c[0]);
+  // a stands alone; c coalesced with the tail.
+  EXPECT_EQ(alloc.free_extent_count(), 2);
+  alloc.Free(b[0]);
+  EXPECT_EQ(alloc.free_extent_count(), 1);  // everything coalesced
+  EXPECT_EQ(alloc.free_blocks(), 1000);
+}
+
+TEST(AllocatorTest, PrefersContiguousAllocation) {
+  Allocator alloc(FirstFit(1000));
+  const auto a = alloc.AllocData(10, 0);
+  const auto b = alloc.AllocData(10, 0);
+  (void)b;
+  alloc.Free(a[0]);  // hole of 10 at the front
+  // A 50-block request must come back contiguous, skipping the small hole.
+  const auto c = alloc.AllocData(50, 0);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].blocks, 50);
+  EXPECT_NE(c[0].lbn, 0);
+}
+
+TEST(AllocatorTest, FragmentsWhenNoContiguousRun) {
+  Allocator alloc(FirstFit(300));
+  // Carve the space into alternating 50-block allocations, free every other.
+  std::vector<PhysExtent> kept;
+  std::vector<PhysExtent> freed;
+  for (int i = 0; i < 6; ++i) {
+    const auto e = alloc.AllocData(50, 0);
+    ASSERT_EQ(e.size(), 1u);
+    (i % 2 == 0 ? freed : kept).push_back(e[0]);
+  }
+  for (const auto& e : freed) {
+    alloc.Free(e);
+  }
+  // 150 free in three 50-block holes: a 120-block request fragments.
+  const auto big = alloc.AllocData(120, 0);
+  ASSERT_GE(big.size(), 2u);
+  int64_t total = 0;
+  for (const auto& e : big) {
+    total += e.blocks;
+  }
+  EXPECT_EQ(total, 120);
+}
+
+TEST(AllocatorTest, EnospcReturnsEmptyAndRollsBack) {
+  Allocator alloc(FirstFit(100));
+  const auto a = alloc.AllocData(60, 0);
+  ASSERT_EQ(a.size(), 1u);
+  const int64_t free_before = alloc.free_blocks();
+  const auto fail = alloc.AllocData(60, 0);
+  EXPECT_TRUE(fail.empty());
+  EXPECT_EQ(alloc.free_blocks(), free_before);  // rollback complete
+  // The remaining 40 are still allocatable.
+  EXPECT_EQ(alloc.AllocData(40, 0).size(), 1u);
+}
+
+TEST(AllocatorTest, GroupedAllocatesNearHintGroup) {
+  AllocatorConfig config;
+  config.policy = AllocPolicy::kGrouped;
+  config.capacity_blocks = 64000;
+  config.groups = 64;  // 1000 blocks per group
+  Allocator alloc(config);
+  const int64_t meta = alloc.AllocMetadata(7);
+  EXPECT_GE(meta, 7000);
+  EXPECT_LT(meta, 8000);
+  const auto data = alloc.AllocData(100, 7);
+  ASSERT_EQ(data.size(), 1u);
+  EXPECT_GE(data[0].lbn, 7000);
+  EXPECT_LT(data[0].lbn, 8000);
+  // A different group lands elsewhere.
+  const auto other = alloc.AllocData(100, 20);
+  EXPECT_GE(other[0].lbn, 20000);
+}
+
+TEST(AllocatorTest, BipartiteMetadataFromCenter) {
+  AllocatorConfig config;
+  config.policy = AllocPolicy::kBipartite;
+  config.capacity_blocks = 100000;
+  config.center_start = 40000;
+  config.center_end = 60000;
+  Allocator alloc(config);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t meta = alloc.AllocMetadata(i);
+    EXPECT_GE(meta, 40000);
+    EXPECT_LT(meta, 60000);
+  }
+  // Data avoids the center.
+  for (int i = 0; i < 50; ++i) {
+    for (const auto& e : alloc.AllocData(500, i)) {
+      EXPECT_TRUE(e.lbn + e.blocks <= 40000 || e.lbn >= 60000)
+          << "data extent in center: " << e.lbn;
+    }
+  }
+}
+
+TEST(AllocatorTest, BipartiteDataSpillsToCenterOnlyWhenDesperate) {
+  AllocatorConfig config;
+  config.policy = AllocPolicy::kBipartite;
+  config.capacity_blocks = 1000;
+  config.center_start = 400;
+  config.center_end = 600;
+  Allocator alloc(config);
+  // Exhaust the outer pools (800 blocks).
+  ASSERT_FALSE(alloc.AllocData(800, 0).empty());
+  // Next allocation must spill into the center.
+  const auto spill = alloc.AllocData(100, 0);
+  ASSERT_FALSE(spill.empty());
+  EXPECT_GE(spill[0].lbn, 400);
+  EXPECT_LT(spill[0].lbn, 600);
+}
+
+TEST(AllocatorTest, RandomizedNoDoubleAllocation) {
+  Allocator alloc(FirstFit(50000));
+  Rng rng(77);
+  std::set<int64_t> owned;
+  std::vector<PhysExtent> live;
+  for (int step = 0; step < 3000; ++step) {
+    if (rng.Bernoulli(0.6) || live.empty()) {
+      const int64_t want = 1 + rng.UniformInt(64);
+      const auto got = alloc.AllocData(want, rng.UniformInt(64));
+      for (const auto& e : got) {
+        for (int64_t b = e.lbn; b < e.lbn + e.blocks; ++b) {
+          ASSERT_TRUE(owned.insert(b).second) << "double allocation of " << b;
+        }
+        live.push_back(e);
+      }
+    } else {
+      const size_t victim = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(live.size())));
+      const PhysExtent e = live[victim];
+      live.erase(live.begin() + static_cast<int64_t>(victim));
+      for (int64_t b = e.lbn; b < e.lbn + e.blocks; ++b) {
+        owned.erase(b);
+      }
+      alloc.Free(e);
+    }
+    ASSERT_EQ(alloc.free_blocks(), 50000 - static_cast<int64_t>(owned.size()));
+  }
+}
+
+}  // namespace
+}  // namespace mstk

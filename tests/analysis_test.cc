@@ -1,0 +1,90 @@
+#include "src/workload/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/rng.h"
+#include "src/workload/cello_like.h"
+#include "src/workload/random_workload.h"
+
+namespace mstk {
+namespace {
+
+TEST(AnalysisTest, EmptyWorkload) {
+  const WorkloadProfile p = AnalyzeWorkload({});
+  EXPECT_EQ(p.requests, 0);
+  EXPECT_EQ(p.mean_rate_per_s, 0.0);
+}
+
+TEST(AnalysisTest, PureSequentialStream) {
+  std::vector<Request> reqs;
+  for (int i = 0; i < 100; ++i) {
+    Request req;
+    req.lbn = i * 8;
+    req.block_count = 8;
+    req.arrival_ms = i * 2.0;
+    reqs.push_back(req);
+  }
+  const WorkloadProfile p = AnalyzeWorkload(reqs);
+  EXPECT_EQ(p.requests, 100);
+  EXPECT_DOUBLE_EQ(p.sequential_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(p.mean_lbn_jump, 0.0);
+  EXPECT_DOUBLE_EQ(p.median_lbn_jump, 0.0);
+  EXPECT_NEAR(p.interarrival_scv, 0.0, 1e-12);  // clockwork arrivals
+  EXPECT_DOUBLE_EQ(p.mean_bytes, 4096.0);
+  EXPECT_EQ(p.footprint_blocks, 800);
+  EXPECT_NEAR(p.mean_rate_per_s, 500.0, 6.0);  // n/(n-1) gaps
+}
+
+TEST(AnalysisTest, PoissonArrivalsHaveUnitScv) {
+  Request proto;
+  proto.block_count = 8;
+  std::vector<Request> reqs;
+  Rng rng(3);
+  double now = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    now += rng.Exponential(2.0);
+    Request req = proto;
+    req.lbn = rng.UniformInt(1000000);
+    req.arrival_ms = now;
+    reqs.push_back(req);
+  }
+  const WorkloadProfile p = AnalyzeWorkload(reqs);
+  EXPECT_NEAR(p.interarrival_scv, 1.0, 0.05);
+  EXPECT_LT(p.sequential_fraction, 0.01);
+}
+
+TEST(AnalysisTest, CelloLikeIsBurstyAndPartlySequential) {
+  CelloLikeConfig config;
+  config.request_count = 30000;
+  config.capacity_blocks = 6750000;
+  Rng rng(5);
+  const WorkloadProfile p = AnalyzeWorkload(GenerateCelloLike(config, rng));
+  EXPECT_GT(p.interarrival_scv, 1.5);       // bursty (MMPP)
+  EXPECT_GT(p.sequential_fraction, 0.2);    // run continuation
+  EXPECT_LT(p.read_fraction, 0.5);          // write-dominated
+}
+
+TEST(AnalysisTest, RandomWorkloadMatchesSpec) {
+  RandomWorkloadConfig config;
+  config.request_count = 30000;
+  config.capacity_blocks = 6750000;
+  config.arrival_rate_per_s = 400.0;
+  Rng rng(7);
+  const WorkloadProfile p = AnalyzeWorkload(GenerateRandomWorkload(config, rng));
+  EXPECT_NEAR(p.read_fraction, 0.67, 0.01);
+  EXPECT_NEAR(p.mean_rate_per_s, 400.0, 15.0);
+  EXPECT_NEAR(p.interarrival_scv, 1.0, 0.05);
+  EXPECT_LT(p.sequential_fraction, 0.01);
+}
+
+TEST(AnalysisTest, FormatMentionsBurstiness) {
+  WorkloadProfile p;
+  p.requests = 10;
+  p.interarrival_scv = 3.0;
+  EXPECT_NE(FormatProfile(p).find("bursty"), std::string::npos);
+  p.interarrival_scv = 1.0;
+  EXPECT_EQ(FormatProfile(p).find("bursty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mstk

@@ -1,0 +1,83 @@
+#include "src/core/bus_device.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mems/mems_device.h"
+
+namespace mstk {
+namespace {
+
+Request MakeRead(int64_t lbn, int32_t blocks) {
+  Request req;
+  req.lbn = lbn;
+  req.block_count = blocks;
+  return req;
+}
+
+TEST(BusDeviceTest, AddsCommandOverheadToSmallRequests) {
+  MemsDevice raw;
+  MemsDevice raw2;
+  BusParams params = BusParams::Ultra160();
+  BusDevice bus(params, &raw2);
+  const Request req = MakeRead(100000, 8);
+  const double t_raw = raw.ServiceRequest(req, 0.0);
+  const double t_bus = bus.ServiceRequest(req, 0.0);
+  // 4 KB over 160 MB/s (0.026 ms) hides under the 0.129 ms media pass; only
+  // the command overhead shows.
+  EXPECT_NEAR(t_bus - t_raw, params.command_overhead_ms, 1e-6);
+}
+
+TEST(BusDeviceTest, SlowBusPacesLargeTransfers) {
+  // A 2 MB read at 79.6 MB/s media vs a 40 MB/s bus: the bus dominates.
+  MemsDevice raw;
+  BusParams slow;
+  slow.bandwidth_mb_s = 40.0;
+  slow.command_overhead_ms = 0.0;
+  BusDevice bus(slow, &raw);
+  const Request req = MakeRead(0, 4096);
+  ServiceBreakdown bd;
+  const double t = bus.ServiceRequest(req, 0.0, &bd);
+  const double bus_ms = 4096 * 512.0 / (40.0 * 1e3);
+  EXPECT_GT(t, bus_ms);
+  EXPECT_LT(t, bus_ms * 1.3);
+}
+
+TEST(BusDeviceTest, FastBusTransparentForStreaming) {
+  MemsDevice raw;
+  MemsDevice raw2;
+  BusParams fast = BusParams::Ultra320();
+  fast.command_overhead_ms = 0.0;
+  BusDevice bus(fast, &raw2);
+  const Request req = MakeRead(0, 4096);
+  EXPECT_NEAR(bus.ServiceRequest(req, 0.0), raw.ServiceRequest(req, 0.0), 1e-9);
+}
+
+TEST(BusDeviceTest, NoBufferSerializesTransfers) {
+  MemsDevice raw_a;
+  MemsDevice raw_b;
+  BusParams overlapped = BusParams::Ultra2();
+  BusParams serialized = BusParams::Ultra2();
+  serialized.speed_matching_buffer = false;
+  BusDevice with_buffer(overlapped, &raw_a);
+  BusDevice without(serialized, &raw_b);
+  const Request req = MakeRead(0, 2048);  // 1 MB
+  const double t_buf = with_buffer.ServiceRequest(req, 0.0);
+  const double t_ser = without.ServiceRequest(req, 0.0);
+  // Serialized: media + bus add; overlapped: max of the two.
+  EXPECT_GT(t_ser, t_buf * 1.5);
+}
+
+TEST(BusDeviceTest, EstimateIncludesOverheadAndResetPropagates) {
+  MemsDevice raw;
+  BusDevice bus(BusParams::Ultra160(), &raw);
+  const Request req = MakeRead(5000, 8);
+  EXPECT_NEAR(bus.EstimatePositioningMs(req, 0.0),
+              0.04 + raw.EstimatePositioningMs(req, 0.0), 1e-9);
+  bus.ServiceRequest(req, 0.0);
+  bus.Reset();
+  EXPECT_EQ(bus.activity().requests, 0);
+  EXPECT_EQ(raw.activity().requests, 0);
+}
+
+}  // namespace
+}  // namespace mstk

@@ -1,0 +1,179 @@
+#include "src/cache/block_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mems/mems_device.h"
+#include "src/sim/rng.h"
+
+namespace mstk {
+namespace {
+
+Request MakeReq(int64_t lbn, int32_t blocks, IoType type = IoType::kRead) {
+  Request req;
+  req.lbn = lbn;
+  req.block_count = blocks;
+  req.type = type;
+  return req;
+}
+
+TEST(BlockCacheTest, MissThenHit) {
+  MemsDevice backing;
+  BlockCacheConfig config;
+  config.capacity_blocks = 1024;
+  BlockCache cache(config, &backing);
+
+  const double miss = cache.ServiceRequest(MakeReq(100, 8), 0.0);
+  EXPECT_GT(miss, 0.1);  // went to the device
+  const double hit = cache.ServiceRequest(MakeReq(100, 8), 10.0);
+  EXPECT_NEAR(hit, config.hit_overhead_ms, 1e-9);
+  EXPECT_EQ(cache.stats().blocks_missed, 8);
+  EXPECT_EQ(cache.stats().blocks_hit, 8);
+  EXPECT_NEAR(cache.stats().HitRate(), 0.5, 1e-9);
+}
+
+TEST(BlockCacheTest, PartialHitFetchesOnlyMissingRun) {
+  MemsDevice backing;
+  BlockCacheConfig config;
+  config.capacity_blocks = 1024;
+  BlockCache cache(config, &backing);
+  cache.ServiceRequest(MakeReq(100, 8), 0.0);
+  // Overlapping read: blocks 104..111; 104..107 cached, 108..111 missing.
+  cache.ServiceRequest(MakeReq(104, 8), 10.0);
+  EXPECT_EQ(cache.stats().blocks_hit, 4);
+  EXPECT_EQ(cache.stats().blocks_missed, 12);
+  EXPECT_EQ(backing.activity().blocks_read, 12);
+}
+
+TEST(BlockCacheTest, LruEvictsOldest) {
+  MemsDevice backing;
+  BlockCacheConfig config;
+  config.capacity_blocks = 16;
+  BlockCache cache(config, &backing);
+  cache.ServiceRequest(MakeReq(0, 8), 0.0);    // A
+  cache.ServiceRequest(MakeReq(100, 8), 1.0);  // B — cache full
+  cache.ServiceRequest(MakeReq(0, 8), 2.0);    // touch A
+  cache.ServiceRequest(MakeReq(200, 8), 3.0);  // evicts B (LRU)
+  EXPECT_EQ(cache.resident_blocks(), 16);
+  const int64_t missed_before = cache.stats().blocks_missed;
+  cache.ServiceRequest(MakeReq(0, 8), 4.0);  // A still resident
+  EXPECT_EQ(cache.stats().blocks_missed, missed_before);
+  cache.ServiceRequest(MakeReq(100, 8), 5.0);  // B was evicted
+  EXPECT_EQ(cache.stats().blocks_missed, missed_before + 8);
+}
+
+TEST(BlockCacheTest, SequentialReadahead) {
+  MemsDevice backing;
+  BlockCacheConfig config;
+  config.capacity_blocks = 4096;
+  config.readahead_blocks = 64;
+  BlockCache cache(config, &backing);
+  cache.ServiceRequest(MakeReq(1000, 8), 0.0);   // not sequential yet
+  EXPECT_EQ(cache.stats().blocks_prefetched, 0);
+  cache.ServiceRequest(MakeReq(1008, 8), 1.0);   // sequential: prefetch fires
+  EXPECT_EQ(cache.stats().blocks_prefetched, 64);
+  // The next several sequential reads are pure hits.
+  const double hit = cache.ServiceRequest(MakeReq(1016, 8), 2.0);
+  EXPECT_NEAR(hit, config.hit_overhead_ms, 1e-9);
+}
+
+TEST(BlockCacheTest, ReadaheadNotTriggeredByRandomReads) {
+  MemsDevice backing;
+  BlockCacheConfig config;
+  config.capacity_blocks = 4096;
+  config.readahead_blocks = 64;
+  BlockCache cache(config, &backing);
+  cache.ServiceRequest(MakeReq(1000, 8), 0.0);
+  cache.ServiceRequest(MakeReq(50000, 8), 1.0);
+  cache.ServiceRequest(MakeReq(9000, 8), 2.0);
+  EXPECT_EQ(cache.stats().blocks_prefetched, 0);
+}
+
+TEST(BlockCacheTest, WriteThroughHitsBacking) {
+  MemsDevice backing;
+  BlockCacheConfig config;
+  config.write_policy = WritePolicy::kWriteThrough;
+  BlockCache cache(config, &backing);
+  const double t = cache.ServiceRequest(MakeReq(0, 8, IoType::kWrite), 0.0);
+  EXPECT_GT(t, 0.1);
+  EXPECT_EQ(backing.activity().blocks_written, 8);
+  // The written blocks are cached (read hit).
+  const double hit = cache.ServiceRequest(MakeReq(0, 8), 1.0);
+  EXPECT_NEAR(hit, config.hit_overhead_ms, 1e-9);
+}
+
+TEST(BlockCacheTest, WriteBackDefersAndFlushes) {
+  MemsDevice backing;
+  BlockCacheConfig config;
+  config.write_policy = WritePolicy::kWriteBack;
+  BlockCache cache(config, &backing);
+  const double t = cache.ServiceRequest(MakeReq(0, 8, IoType::kWrite), 0.0);
+  EXPECT_NEAR(t, config.hit_overhead_ms, 1e-9);
+  EXPECT_EQ(backing.activity().blocks_written, 0);
+  const double flush = cache.FlushAll(10.0);
+  EXPECT_GT(flush, 0.1);
+  EXPECT_EQ(backing.activity().blocks_written, 8);
+  EXPECT_EQ(cache.stats().dirty_flushes, 8);
+  // A second flush is free: nothing dirty.
+  EXPECT_EQ(cache.FlushAll(20.0), 0.0);
+}
+
+TEST(BlockCacheTest, WriteBackEvictionFlushesDirtyRun) {
+  MemsDevice backing;
+  BlockCacheConfig config;
+  config.capacity_blocks = 16;
+  config.write_policy = WritePolicy::kWriteBack;
+  BlockCache cache(config, &backing);
+  cache.ServiceRequest(MakeReq(0, 16, IoType::kWrite), 0.0);
+  EXPECT_EQ(backing.activity().blocks_written, 0);
+  // Displace everything with reads; dirty blocks must reach the device.
+  cache.ServiceRequest(MakeReq(10000, 16), 1.0);
+  EXPECT_EQ(backing.activity().blocks_written, 16);
+}
+
+TEST(BlockCacheTest, EstimateReflectsResidency) {
+  MemsDevice backing;
+  BlockCacheConfig config;
+  BlockCache cache(config, &backing);
+  const Request req = MakeReq(500, 8);
+  EXPECT_GT(cache.EstimatePositioningMs(req, 0.0), 0.01);  // cold: device time
+  cache.ServiceRequest(req, 0.0);
+  EXPECT_NEAR(cache.EstimatePositioningMs(req, 1.0), config.hit_overhead_ms, 1e-9);
+}
+
+TEST(BlockCacheTest, ResetClearsEverything) {
+  MemsDevice backing;
+  BlockCacheConfig config;
+  config.write_policy = WritePolicy::kWriteBack;
+  BlockCache cache(config, &backing);
+  cache.ServiceRequest(MakeReq(0, 8, IoType::kWrite), 0.0);
+  cache.ServiceRequest(MakeReq(100, 8), 1.0);
+  cache.Reset();
+  EXPECT_EQ(cache.resident_blocks(), 0);
+  EXPECT_EQ(cache.stats().read_requests, 0);
+  EXPECT_EQ(backing.activity().requests, 0);
+}
+
+TEST(BlockCacheTest, RandomizedConsistencyAgainstDirectDevice) {
+  // Property: with a huge cache and write-back, every block read through
+  // the cache was either fetched from the device exactly once or written
+  // first; total backing reads never exceed distinct blocks touched.
+  MemsDevice backing;
+  BlockCacheConfig config;
+  config.capacity_blocks = 1 << 20;
+  config.write_policy = WritePolicy::kWriteBack;
+  BlockCache cache(config, &backing);
+  Rng rng(99);
+  int64_t distinct_estimate = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t lbn = rng.UniformInt(100000);
+    const int32_t blocks = 1 + static_cast<int32_t>(rng.UniformInt(16));
+    cache.ServiceRequest(
+        MakeReq(lbn, blocks, rng.Bernoulli(0.5) ? IoType::kRead : IoType::kWrite), i);
+    distinct_estimate += blocks;
+  }
+  EXPECT_LE(backing.activity().blocks_read, distinct_estimate);
+  EXPECT_EQ(backing.activity().blocks_written, 0);  // nothing evicted
+}
+
+}  // namespace
+}  // namespace mstk

@@ -1,0 +1,167 @@
+// Parameterized property tests for the disk substrate: geometry, seek
+// curve, and skew invariants across non-default configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/disk/disk_device.h"
+#include "src/disk/disk_geometry.h"
+#include "src/disk/seek_curve.h"
+#include "src/sim/rng.h"
+
+namespace mstk {
+namespace {
+
+struct GeomCase {
+  int cylinders;
+  int heads;
+  int zones;
+  int outer_spt;
+  int inner_spt;
+};
+
+class DiskGeometrySweep : public ::testing::TestWithParam<GeomCase> {};
+
+TEST_P(DiskGeometrySweep, RoundTripAndStructure) {
+  const GeomCase c = GetParam();
+  DiskParams params;
+  params.cylinders = c.cylinders;
+  params.heads = c.heads;
+  params.zones = c.zones;
+  params.outer_sectors_per_track = c.outer_spt;
+  params.inner_sectors_per_track = c.inner_spt;
+  const DiskGeometry geom(params);
+
+  // Capacity equals the sum over cylinders of heads * spt.
+  int64_t expect = 0;
+  for (int32_t cyl = 0; cyl < c.cylinders; ++cyl) {
+    expect += static_cast<int64_t>(c.heads) * geom.SectorsPerTrack(cyl);
+  }
+  EXPECT_EQ(geom.capacity_blocks(), expect);
+
+  // Encode/decode bijectivity on random samples plus all zone edges.
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t lbn = rng.UniformInt(geom.capacity_blocks());
+    ASSERT_EQ(geom.Encode(geom.Decode(lbn)), lbn);
+  }
+  // First and last block of the device.
+  EXPECT_EQ(geom.Encode(geom.Decode(0)), 0);
+  EXPECT_EQ(geom.Encode(geom.Decode(geom.capacity_blocks() - 1)),
+            geom.capacity_blocks() - 1);
+
+  // Zones partition cylinders; spt monotone non-increasing.
+  int prev_spt = geom.SectorsPerTrack(0);
+  EXPECT_EQ(prev_spt, c.outer_spt);
+  for (int32_t cyl = 1; cyl < c.cylinders; ++cyl) {
+    const int spt = geom.SectorsPerTrack(cyl);
+    ASSERT_LE(spt, prev_spt);
+    prev_spt = spt;
+  }
+  EXPECT_EQ(prev_spt, c.inner_spt);
+
+  // Sector phases stay within [0, 1).
+  for (int i = 0; i < 500; ++i) {
+    const DiskAddress addr = geom.Decode(rng.UniformInt(geom.capacity_blocks()));
+    const double phase = geom.SectorPhase(addr);
+    ASSERT_GE(phase, 0.0);
+    ASSERT_LT(phase, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DiskGeometrySweep,
+    ::testing::Values(GeomCase{10042, 6, 24, 334, 229},   // Atlas-like default
+                      GeomCase{5000, 4, 12, 200, 120},    // small old disk
+                      GeomCase{20000, 10, 30, 500, 350},  // big modern-ish disk
+                      GeomCase{1000, 1, 1, 64, 64},       // single zone/head
+                      GeomCase{97, 3, 5, 50, 31}));       // awkward remainders
+
+TEST(SeekCurvePropertiesTest, ConcaveThenNearLinear) {
+  const SeekCurve curve(10042, 0.8, 5.0, 10.9);
+  // Short-seek increments shrink (sqrt term dominates), long-seek
+  // increments stabilize (linear term dominates).
+  const double d10 = curve.SeekMs(20) - curve.SeekMs(10);
+  const double d100 = curve.SeekMs(110) - curve.SeekMs(100);
+  const double d5000 = curve.SeekMs(5010) - curve.SeekMs(5000);
+  const double d9000 = curve.SeekMs(9010) - curve.SeekMs(9000);
+  EXPECT_GT(d10, d100);
+  EXPECT_GT(d100, d5000);
+  EXPECT_NEAR(d5000, d9000, d5000 * 0.3);
+}
+
+TEST(SeekCurvePropertiesTest, FitsArbitraryCalibrations) {
+  for (const auto& [cyl, single, avg, full] :
+       {std::tuple{2000, 0.5, 3.0, 7.0}, std::tuple{50000, 1.2, 8.0, 18.0},
+        std::tuple{10042, 0.8, 5.0, 10.9}}) {
+    const SeekCurve curve(cyl, single, avg, full);
+    EXPECT_DOUBLE_EQ(curve.SeekMs(1), single);
+    EXPECT_NEAR(curve.SeekMs(cyl / 3), avg, 0.05);
+    EXPECT_NEAR(curve.SeekMs(cyl - 1), full, 1e-6);
+    // Positivity everywhere.
+    for (int64_t d = 1; d < cyl; d += cyl / 37 + 1) {
+      ASSERT_GT(curve.SeekMs(d), 0.0) << d;
+    }
+  }
+}
+
+TEST(DiskDevicePropertiesTest, ServiceDeterministicGivenState) {
+  DiskDevice a;
+  DiskDevice b;
+  Rng rng(3);
+  double now = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    Request req;
+    req.lbn = rng.UniformInt(a.CapacityBlocks() - 16);
+    req.block_count = 1 + static_cast<int32_t>(rng.UniformInt(16));
+    ASSERT_DOUBLE_EQ(a.ServiceRequest(req, now), b.ServiceRequest(req, now));
+    now += 7.3;
+  }
+}
+
+TEST(DiskDevicePropertiesTest, PositioningBounded) {
+  DiskDevice device;
+  Rng rng(5);
+  const double bound = device.params().full_stroke_seek_ms +
+                       device.params().revolution_ms() +
+                       device.params().head_switch_ms;
+  for (int i = 0; i < 2000; ++i) {
+    Request req;
+    req.lbn = rng.UniformInt(device.CapacityBlocks() - 8);
+    req.block_count = 8;
+    const double est = device.EstimatePositioningMs(req, rng.Uniform(0, 1e6));
+    ASSERT_GE(est, 0.0);
+    ASSERT_LE(est, bound);
+  }
+}
+
+TEST(DiskDevicePropertiesTest, SequentialFasterThanRandom) {
+  DiskDevice device;
+  // 100 sequential 4 KB reads vs 100 random ones.
+  double now = 0.0;
+  double seq_total = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    Request req;
+    req.lbn = 1000 + i * 8;
+    req.block_count = 8;
+    const double t = device.ServiceRequest(req, now);
+    seq_total += t;
+    now += t;
+  }
+  device.Reset();
+  Rng rng(7);
+  now = 0.0;
+  double rand_total = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    Request req;
+    req.lbn = rng.UniformInt(device.CapacityBlocks() - 8);
+    req.block_count = 8;
+    const double t = device.ServiceRequest(req, now);
+    rand_total += t;
+    now += t;
+  }
+  EXPECT_LT(seq_total * 5.0, rand_total);
+}
+
+}  // namespace
+}  // namespace mstk

@@ -1,0 +1,170 @@
+#include "src/disk/disk_device.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/disk/disk_geometry.h"
+#include "src/disk/seek_curve.h"
+#include "src/sim/rng.h"
+
+namespace mstk {
+namespace {
+
+Request MakeRead(int64_t lbn, int32_t blocks) {
+  Request req;
+  req.type = IoType::kRead;
+  req.lbn = lbn;
+  req.block_count = blocks;
+  return req;
+}
+
+TEST(SeekCurveTest, HitsCalibrationPoints) {
+  const DiskParams p;
+  const SeekCurve curve(p.cylinders, p.single_cylinder_seek_ms, p.average_seek_ms,
+                        p.full_stroke_seek_ms);
+  EXPECT_DOUBLE_EQ(curve.SeekMs(0), 0.0);
+  EXPECT_DOUBLE_EQ(curve.SeekMs(1), p.single_cylinder_seek_ms);
+  EXPECT_NEAR(curve.SeekMs(p.cylinders / 3), p.average_seek_ms, 0.02);
+  EXPECT_NEAR(curve.SeekMs(p.cylinders - 1), p.full_stroke_seek_ms, 1e-9);
+}
+
+TEST(SeekCurveTest, MonotonicNondecreasing) {
+  const SeekCurve curve(10042, 0.8, 5.0, 10.9);
+  double prev = 0.0;
+  for (int64_t d = 1; d < 10042; d += 7) {
+    const double t = curve.SeekMs(d);
+    EXPECT_GE(t, prev) << "d=" << d;
+    prev = t;
+  }
+}
+
+TEST(DiskGeometryTest, ZoneBanding) {
+  const DiskGeometry geom{DiskParams{}};
+  const DiskParams& p = geom.params();
+  EXPECT_EQ(geom.SectorsPerTrack(0), p.outer_sectors_per_track);
+  EXPECT_EQ(geom.SectorsPerTrack(p.cylinders - 1), p.inner_sectors_per_track);
+  // §2.4.12: ~46% bandwidth spread between outermost and innermost zones.
+  const double spread = static_cast<double>(p.outer_sectors_per_track) /
+                        p.inner_sectors_per_track;
+  EXPECT_NEAR(spread, 1.46, 0.01);
+  // Zones monotone non-increasing in sectors per track.
+  int prev = p.outer_sectors_per_track;
+  for (int32_t c = 0; c < p.cylinders; c += 100) {
+    const int spt = geom.SectorsPerTrack(c);
+    EXPECT_LE(spt, prev);
+    prev = spt;
+  }
+}
+
+TEST(DiskGeometryTest, EncodeDecodeRoundTrip) {
+  const DiskGeometry geom{DiskParams{}};
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t lbn = rng.UniformInt(geom.capacity_blocks());
+    EXPECT_EQ(geom.Encode(geom.Decode(lbn)), lbn);
+  }
+  EXPECT_EQ(geom.Decode(0), (DiskAddress{0, 0, 0}));
+}
+
+TEST(DiskGeometryTest, CapacityNearAtlas10K) {
+  const DiskGeometry geom{DiskParams{}};
+  const double gb = static_cast<double>(geom.capacity_blocks()) * 512.0 / 1e9;
+  EXPECT_GT(gb, 8.0);  // the 9.1 GB Atlas 10K
+  EXPECT_LT(gb, 10.0);
+}
+
+TEST(DiskDeviceTest, RotationIsSixMs) {
+  DiskDevice device;
+  EXPECT_NEAR(device.params().revolution_ms(), 5.985, 0.001);
+}
+
+TEST(DiskDeviceTest, SequentialTransferAtMediaRate) {
+  DiskDevice device;
+  // Reading a full outer track takes one revolution of transfer.
+  const int spt = device.geometry().SectorsPerTrack(0);
+  ServiceBreakdown breakdown;
+  device.ServiceRequest(MakeRead(0, spt), 0.0, &breakdown);
+  EXPECT_NEAR(breakdown.transfer_ms, device.params().revolution_ms(), 0.01);
+  // Outer-zone streaming ~28.5 MB/s (§5.2).
+  const double mb_per_s = spt * 512.0 / 1e6 / (breakdown.transfer_ms / 1e3);
+  EXPECT_NEAR(mb_per_s, 28.5, 0.8);
+}
+
+TEST(DiskDeviceTest, RereadCostsFullRotation) {
+  DiskDevice device;
+  // Table 2's disk column: re-accessing just-read sectors waits out the
+  // rest of the revolution. (LBN 0 keeps the run inside one track.)
+  const double t1 = device.ServiceRequest(MakeRead(0, 8), 0.0);
+  ServiceBreakdown breakdown;
+  device.ServiceRequest(MakeRead(0, 8), t1, &breakdown);
+  const double rev = device.params().revolution_ms();
+  const double transfer = 8.0 / device.geometry().SectorsPerTrack(0) * rev;
+  EXPECT_NEAR(breakdown.positioning_ms, rev - transfer, 0.01);
+}
+
+TEST(DiskDeviceTest, FullTrackRereadIsImmediate) {
+  DiskDevice device;
+  const int spt = device.geometry().SectorsPerTrack(0);
+  const double t1 = device.ServiceRequest(MakeRead(0, spt), 0.0);
+  ServiceBreakdown breakdown;
+  device.ServiceRequest(MakeRead(0, spt), t1, &breakdown);
+  // After a full-track read the head is right back at the start: Table 2
+  // reports 0.00 ms reposition for the 334-sector read-modify-write.
+  EXPECT_LT(breakdown.positioning_ms, 0.02);
+}
+
+TEST(DiskDeviceTest, EstimateMatchesServicePositioning) {
+  DiskDevice device;
+  Rng rng(19);
+  double now = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const Request req = MakeRead(rng.UniformInt(device.CapacityBlocks() - 8), 8);
+    const double estimate = device.EstimatePositioningMs(req, now);
+    ServiceBreakdown breakdown;
+    const double service = device.ServiceRequest(req, now, &breakdown);
+    EXPECT_NEAR(estimate, breakdown.positioning_ms, 1e-9);
+    now += service;
+  }
+}
+
+TEST(DiskDeviceTest, TrackBoundaryCrossingUsesSkew) {
+  DiskDevice device;
+  const int spt = device.geometry().SectorsPerTrack(0);
+  // Read across the first track boundary: the head switch plus skew should
+  // cost roughly the head-switch time, not a full extra rotation.
+  ServiceBreakdown breakdown;
+  device.ServiceRequest(MakeRead(0, spt + 10), 0.0, &breakdown);
+  EXPECT_GT(breakdown.extra_ms, device.params().head_switch_ms - 0.01);
+  EXPECT_LT(breakdown.extra_ms, device.params().head_switch_ms + 1.0);
+}
+
+TEST(DiskDeviceTest, AverageRandomAccessNearExpectation) {
+  DiskDevice device;
+  Rng rng(23);
+  double total = 0.0;
+  double now = 0.0;
+  const int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    const Request req = MakeRead(rng.UniformInt(device.CapacityBlocks() - 8), 8);
+    const double t = device.ServiceRequest(req, now);
+    total += t;
+    now += t + 0.5;
+  }
+  const double mean = total / kN;
+  // ~ avg seek (5.0) + half rotation (3.0) + transfer (~0.2).
+  EXPECT_NEAR(mean, 8.2, 0.6);
+}
+
+TEST(DiskDeviceTest, ResetRestoresState) {
+  DiskDevice device;
+  device.ServiceRequest(MakeRead(device.CapacityBlocks() - 100, 8), 0.0);
+  EXPECT_GT(device.current_cylinder(), 0);
+  device.Reset();
+  EXPECT_EQ(device.current_cylinder(), 0);
+  EXPECT_EQ(device.current_head(), 0);
+  EXPECT_EQ(device.activity().requests, 0);
+}
+
+}  // namespace
+}  // namespace mstk

@@ -1,0 +1,133 @@
+#include "src/core/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/mems/mems_device.h"
+#include "src/sched/fcfs.h"
+#include "src/sched/sptf.h"
+#include "src/sim/rng.h"
+#include "src/workload/random_workload.h"
+
+namespace mstk {
+namespace {
+
+std::vector<Request> SmallWorkload(MemsDevice& device, double rate, int64_t n,
+                                   uint64_t seed = 1) {
+  RandomWorkloadConfig config;
+  config.arrival_rate_per_s = rate;
+  config.request_count = n;
+  config.capacity_blocks = device.CapacityBlocks();
+  Rng rng(seed);
+  return GenerateRandomWorkload(config, rng);
+}
+
+TEST(DriverTest, CompletesAllRequests) {
+  MemsDevice device;
+  FcfsScheduler sched;
+  const auto requests = SmallWorkload(device, 200.0, 500);
+  const ExperimentResult result = RunOpenLoop(&device, &sched, requests);
+  EXPECT_EQ(result.metrics.completed(), 500);
+  EXPECT_EQ(result.activity.requests, 500);
+}
+
+TEST(DriverTest, ResponseAtLeastService) {
+  MemsDevice device;
+  FcfsScheduler sched;
+  const auto requests = SmallWorkload(device, 800.0, 1000);
+  const ExperimentResult result = RunOpenLoop(&device, &sched, requests);
+  EXPECT_GE(result.metrics.response_time().mean(),
+            result.metrics.service_time().mean());
+  EXPECT_GE(result.metrics.response_time().min(), 0.0);
+}
+
+TEST(DriverTest, LowLoadResponseEqualsService) {
+  MemsDevice device;
+  FcfsScheduler sched;
+  // 5/s against a ~1 ms service time: queueing is negligible.
+  const auto requests = SmallWorkload(device, 5.0, 300);
+  const ExperimentResult result = RunOpenLoop(&device, &sched, requests);
+  EXPECT_NEAR(result.metrics.response_time().mean(),
+              result.metrics.service_time().mean(), 0.02);
+}
+
+TEST(DriverTest, UtilizationMatchesLittlesLaw) {
+  MemsDevice device;
+  FcfsScheduler sched;
+  const auto requests = SmallWorkload(device, 600.0, 4000);
+  const ExperimentResult result = RunOpenLoop(&device, &sched, requests);
+  // Busy fraction ~= arrival rate * mean service time.
+  const double util = result.activity.busy_ms / result.makespan_ms;
+  const double expect = 600.0 * result.metrics.service_time().mean() / 1000.0;
+  EXPECT_NEAR(util, expect, 0.05);
+}
+
+TEST(DriverTest, HigherLoadRaisesResponseNotService) {
+  MemsDevice device;
+  FcfsScheduler sched;
+  const auto low = RunOpenLoop(&device, &sched, SmallWorkload(device, 100.0, 2000));
+  const auto high = RunOpenLoop(&device, &sched, SmallWorkload(device, 1000.0, 2000));
+  EXPECT_GT(high.metrics.response_time().mean(), low.metrics.response_time().mean() * 1.5);
+  EXPECT_NEAR(high.metrics.service_time().mean(), low.metrics.service_time().mean(), 0.2);
+}
+
+TEST(DriverTest, OnCompleteAndIdleCallbacksFire) {
+  MemsDevice device;
+  FcfsScheduler sched;
+  MetricsCollector metrics;
+  Simulator sim;
+  Driver driver(&sim, &device, &sched, &metrics);
+  int completions = 0;
+  int idles = 0;
+  int actives = 0;
+  driver.set_on_complete([&](const Request&, TimeMs) { ++completions; });
+  driver.set_on_idle([&](TimeMs) { ++idles; });
+  driver.set_on_active([&](TimeMs) { ++actives; });
+
+  Request req;
+  req.lbn = 1000;
+  req.block_count = 8;
+  // Two well-separated requests: two busy periods.
+  sim.ScheduleAt(0.0, [&] { driver.Submit(req); });
+  sim.ScheduleAt(100.0, [&] { driver.Submit(req); });
+  sim.Run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(idles, 2);
+  EXPECT_EQ(actives, 2);
+}
+
+TEST(DriverTest, DispatchPenaltyDelaysService) {
+  MemsDevice device;
+  FcfsScheduler sched;
+  MetricsCollector metrics;
+  Simulator sim;
+  Driver driver(&sim, &device, &sched, &metrics);
+  Request req;
+  req.lbn = 0;
+  req.block_count = 8;
+  req.arrival_ms = 0.0;
+  driver.AddDispatchPenalty(7.0);
+  sim.ScheduleAt(0.0, [&] { driver.Submit(req); });
+  sim.Run();
+  EXPECT_GE(metrics.response_time().mean(), 7.0);
+}
+
+TEST(DriverTest, SptfIntegrationReordersQueue) {
+  MemsDevice device;
+  SptfScheduler sptf(&device);
+  FcfsScheduler fcfs;
+  // Saturating load so the queue is deep enough for reordering to matter.
+  const auto requests = SmallWorkload(device, 2000.0, 3000, 7);
+  const auto r_fcfs = RunOpenLoop(&device, &fcfs, requests);
+  const auto r_sptf = RunOpenLoop(&device, &sptf, requests);
+  EXPECT_LT(r_sptf.metrics.response_time().mean(),
+            r_fcfs.metrics.response_time().mean());
+  // SPTF lowers mean service time (less positioning).
+  EXPECT_LT(r_sptf.metrics.service_time().mean(),
+            r_fcfs.metrics.service_time().mean());
+}
+
+}  // namespace
+}  // namespace mstk

@@ -1,0 +1,227 @@
+// Tests for the extension features: LOOK scheduling, seek-error injection,
+// and active-tip reconfiguration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/disk/disk_device.h"
+#include "src/mems/mems_device.h"
+#include "src/sched/look.h"
+#include "src/sched/sstf_cyl.h"
+#include "src/sim/rng.h"
+
+namespace mstk {
+namespace {
+
+Request MakeReq(int64_t id, int64_t lbn) {
+  Request req;
+  req.id = id;
+  req.lbn = lbn;
+  req.block_count = 8;
+  return req;
+}
+
+TEST(LookTest, SweepsUpThenDown) {
+  LookScheduler sched;
+  for (const int64_t lbn : {500, 100, 900, 300, 700}) {
+    sched.Add(MakeReq(lbn, lbn));
+  }
+  std::vector<int64_t> order;
+  while (!sched.Empty()) {
+    order.push_back(sched.Pop(0.0).lbn);
+  }
+  // Starting at 0 ascending: 100 300 500 700 900.
+  EXPECT_EQ(order, (std::vector<int64_t>{100, 300, 500, 700, 900}));
+  // Now at the top; new low requests are served descending.
+  sched.Add(MakeReq(1, 200));
+  sched.Add(MakeReq(2, 600));
+  EXPECT_EQ(sched.Pop(0.0).lbn, 600);
+  EXPECT_EQ(sched.Pop(0.0).lbn, 200);
+}
+
+TEST(LookTest, DoesNotWrapLikeClook) {
+  LookScheduler sched;
+  sched.Add(MakeReq(0, 100));
+  sched.Add(MakeReq(1, 900));
+  EXPECT_EQ(sched.Pop(0.0).lbn, 100);
+  EXPECT_EQ(sched.Pop(0.0).lbn, 900);
+  // At 900 heading up; adding 50 reverses direction (no wrap to bottom).
+  sched.Add(MakeReq(2, 50));
+  sched.Add(MakeReq(3, 950));
+  EXPECT_EQ(sched.Pop(0.0).lbn, 950);  // finishes the up sweep first
+  EXPECT_EQ(sched.Pop(0.0).lbn, 50);
+}
+
+TEST(LookTest, ConservesRequests) {
+  LookScheduler sched;
+  Rng rng(5);
+  std::vector<bool> seen(100, false);
+  for (int i = 0; i < 100; ++i) {
+    sched.Add(MakeReq(i, rng.UniformInt(1000000)));
+  }
+  for (int i = 0; i < 100; ++i) {
+    const Request req = sched.Pop(0.0);
+    ASSERT_FALSE(seen[static_cast<size_t>(req.id)]);
+    seen[static_cast<size_t>(req.id)] = true;
+  }
+  EXPECT_TRUE(sched.Empty());
+}
+
+TEST(SstfCylTest, PrefersSameCylinderOverNearLbn) {
+  MemsDevice device;
+  const MemsGeometry* geom = &device.geometry();
+  SstfCylScheduler sched(
+      [geom](int64_t lbn) { return static_cast<int64_t>(geom->Decode(lbn).cylinder); });
+  // Last LBN is 0 (cylinder 0). Candidate A: cylinder 0, far Y (large LBN
+  // gap within the cylinder). Candidate B: cylinder 1, tiny LBN gap.
+  const int64_t same_cyl = geom->Encode(MemsAddress{0, 3, 20, 0});
+  const int64_t next_cyl = geom->Encode(MemsAddress{1, 0, 26, 0});
+  sched.Add(MakeReq(0, next_cyl));
+  sched.Add(MakeReq(1, same_cyl));
+  EXPECT_EQ(sched.Pop(0.0).lbn, same_cyl);  // zero cylinder distance wins
+  EXPECT_EQ(sched.Pop(0.0).lbn, next_cyl);
+}
+
+TEST(SstfCylTest, TieBreaksByLbnDistance) {
+  SstfCylScheduler sched([](int64_t lbn) { return lbn / 1000; });  // toy mapping
+  sched.Add(MakeReq(0, 2900));  // cylinder 2
+  sched.Add(MakeReq(1, 2100));  // cylinder 2, closer to last (0 -> last_lbn 0)
+  EXPECT_EQ(sched.Pop(0.0).id, 1);
+}
+
+TEST(SstfCylTest, ConservesRequests) {
+  SstfCylScheduler sched([](int64_t lbn) { return lbn / 2700; });
+  Rng rng(3);
+  std::vector<bool> seen(50, false);
+  for (int i = 0; i < 50; ++i) {
+    sched.Add(MakeReq(i, rng.UniformInt(1000000)));
+  }
+  for (int i = 0; i < 50; ++i) {
+    const Request req = sched.Pop(0.0);
+    ASSERT_FALSE(seen[static_cast<size_t>(req.id)]);
+    seen[static_cast<size_t>(req.id)] = true;
+  }
+  EXPECT_TRUE(sched.Empty());
+}
+
+TEST(SeekErrorTest, ZeroRateChangesNothing) {
+  MemsDevice clean;
+  MemsDevice with_errors;
+  with_errors.EnableSeekErrors(0.0, 42);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    Request req = MakeReq(i, rng.UniformInt(clean.CapacityBlocks() - 8));
+    EXPECT_DOUBLE_EQ(clean.ServiceRequest(req, 0.0), with_errors.ServiceRequest(req, 0.0));
+  }
+}
+
+TEST(SeekErrorTest, MemsRetryCostIsSmall) {
+  MemsDevice clean;
+  MemsDevice faulty;
+  faulty.EnableSeekErrors(1.0, 42);  // every request retries
+  Rng rng(2);
+  double clean_total = 0.0;
+  double faulty_total = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    Request req = MakeReq(i, rng.UniformInt(clean.CapacityBlocks() - 8));
+    clean_total += clean.ServiceRequest(req, 0.0);
+    faulty_total += faulty.ServiceRequest(req, 0.0);
+  }
+  const double penalty_ms = (faulty_total - clean_total) / 500.0;
+  // Two turnarounds + settle: a few tenths of a millisecond.
+  EXPECT_GT(penalty_ms, 0.05);
+  EXPECT_LT(penalty_ms, 1.0);
+}
+
+TEST(SeekErrorTest, DiskRetryCostsRotation) {
+  DiskDevice clean;
+  DiskDevice faulty;
+  faulty.EnableSeekErrors(1.0, 42);
+  Rng rng(3);
+  double clean_total = 0.0;
+  double faulty_total = 0.0;
+  double now = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    Request req = MakeReq(i, rng.UniformInt(clean.CapacityBlocks() - 8));
+    clean_total += clean.ServiceRequest(req, now);
+    faulty_total += faulty.ServiceRequest(req, now);
+    now += 20.0;
+  }
+  const double penalty_ms = (faulty_total - clean_total) / 500.0;
+  // Re-seek (1.5 ms) plus on average no net rotational change — but never
+  // cheaper than the re-seek alone, and often most of a revolution more.
+  EXPECT_GT(penalty_ms, 1.0);
+}
+
+TEST(SeekErrorTest, DeterministicAcrossReset) {
+  MemsDevice device;
+  device.EnableSeekErrors(0.3, 7);
+  Rng rng(4);
+  std::vector<Request> reqs;
+  for (int i = 0; i < 100; ++i) {
+    reqs.push_back(MakeReq(i, rng.UniformInt(device.CapacityBlocks() - 8)));
+  }
+  std::vector<double> first;
+  for (const Request& req : reqs) {
+    first.push_back(device.ServiceRequest(req, 0.0));
+  }
+  device.Reset();
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(device.ServiceRequest(reqs[i], 0.0), first[i]);
+  }
+}
+
+// §7: reconfiguring the number of simultaneously active tips trades
+// bandwidth against power. Geometry stays consistent at every setting.
+class ActiveTipsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ActiveTipsTest, GeometryAndRatesConsistent) {
+  MemsParams params;
+  params.active_tips = GetParam();
+  const MemsGeometry geom{params};
+  EXPECT_EQ(params.slots_per_row(), GetParam() / 64);
+  EXPECT_EQ(params.tracks_per_cylinder(), 6400 / GetParam());
+  // Capacity is invariant: fewer active tips just means more tracks.
+  EXPECT_EQ(params.capacity_blocks(), 6750000);
+  // Streaming bandwidth scales linearly with tip parallelism.
+  EXPECT_NEAR(params.streaming_bytes_per_second() / 1e6,
+              79.6 * GetParam() / 1280.0, 0.5);
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t lbn = rng.UniformInt(geom.capacity_blocks());
+    EXPECT_EQ(geom.Encode(geom.Decode(lbn)), lbn);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TipCounts, ActiveTipsTest,
+                         ::testing::Values(320, 640, 1280, 3200, 6400));
+
+TEST(GenerationPresetTest, MonotoneImprovement) {
+  const MemsParams g1 = MemsParams::FirstGeneration();
+  const MemsParams g2 = MemsParams::SecondGeneration();
+  const MemsParams g3 = MemsParams::ThirdGeneration();
+  EXPECT_LT(g1.capacity_bytes(), g2.capacity_bytes());
+  EXPECT_LT(g2.capacity_bytes(), g3.capacity_bytes());
+  EXPECT_LT(g1.streaming_bytes_per_second(), g2.streaming_bytes_per_second());
+  EXPECT_LT(g2.streaming_bytes_per_second(), g3.streaming_bytes_per_second());
+  EXPECT_GT(g1.settle_seconds(), g2.settle_seconds());
+  EXPECT_GT(g2.settle_seconds(), g3.settle_seconds());
+  // Every preset yields a consistent, usable geometry.
+  for (const MemsParams& p : {g1, g2, g3}) {
+    const MemsGeometry geom{p};
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+      const int64_t lbn = rng.UniformInt(geom.capacity_blocks());
+      ASSERT_EQ(geom.Encode(geom.Decode(lbn)), lbn);
+    }
+    MemsDevice device(p);
+    Request req;
+    req.block_count = 8;
+    req.lbn = device.CapacityBlocks() / 3;
+    EXPECT_GT(device.ServiceRequest(req, 0.0), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mstk

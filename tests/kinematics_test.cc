@@ -1,0 +1,196 @@
+#include "src/mems/kinematics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace mstk {
+namespace {
+
+constexpr double kAccel = 803.6;
+constexpr double kHalfRange = 50e-6;
+constexpr double kSpring = 0.75;
+constexpr double kVAccess = 0.028;  // 700 kbit/s * 40 nm
+
+SledKinematics DefaultKinematics() {
+  return SledKinematics(SledAxisParams{kAccel, kHalfRange, kSpring});
+}
+
+SledKinematics SpringlessKinematics() {
+  return SledKinematics(SledAxisParams{kAccel, kHalfRange, 0.0});
+}
+
+TEST(KinematicsTest, ZeroMotionIsZeroTime) {
+  const SledKinematics k = DefaultKinematics();
+  EXPECT_DOUBLE_EQ(k.TravelSeconds(0.0, 0.0, 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(k.TravelSeconds(10e-6, kVAccess, 10e-6, kVAccess), 0.0);
+}
+
+TEST(KinematicsTest, SpringlessSeekMatchesConstantAccelFormula) {
+  const SledKinematics k = SpringlessKinematics();
+  for (const double d : {1e-6, 5e-6, 20e-6, 80e-6}) {
+    const double expect = 2.0 * std::sqrt(d / 2.0 / kAccel) * 2.0 / 2.0;
+    // Bang-bang over distance d: t = 2*sqrt(d/a).
+    const double expect2 = 2.0 * std::sqrt(d / kAccel);
+    (void)expect;
+    EXPECT_NEAR(k.SeekSeconds(-d / 2.0, d / 2.0), expect2, 1e-9) << "d=" << d;
+  }
+}
+
+TEST(KinematicsTest, SpringlessTurnaroundMatchesFormula) {
+  const SledKinematics k = SpringlessKinematics();
+  // v -> -v under constant deceleration: t = 2v/a.
+  EXPECT_NEAR(k.TurnaroundSeconds(0.0, kVAccess), 2.0 * kVAccess / kAccel, 1e-9);
+}
+
+TEST(KinematicsTest, TurnaroundAtCenterNearTableTwoValue) {
+  const SledKinematics k = DefaultKinematics();
+  // Table 2 lists ~0.063 ms average turnaround; at the center the spring
+  // vanishes and the turnaround is ~2v/a = 0.0697 ms.
+  const double t_ms = k.TurnaroundSeconds(0.0, kVAccess) * 1e3;
+  EXPECT_NEAR(t_ms, 0.0697, 0.002);
+}
+
+TEST(KinematicsTest, TurnaroundDependsOnPositionAndDirection) {
+  const SledKinematics k = DefaultKinematics();
+  const double y = 45e-6;
+  // Moving outward at +y: spring aids both the stop and the return.
+  const double outward = k.TurnaroundSeconds(y, +kVAccess);
+  // Moving inward at +y: the sled must fight the spring to reverse outward.
+  const double inward = k.TurnaroundSeconds(y, -kVAccess);
+  const double center = k.TurnaroundSeconds(0.0, kVAccess);
+  EXPECT_LT(outward, center);
+  EXPECT_GT(inward, center);
+}
+
+TEST(KinematicsTest, SeekTimeIsMirrorSymmetric) {
+  const SledKinematics k = DefaultKinematics();
+  for (const auto& [a, b] : {std::pair{0.0, 10e-6}, std::pair{-30e-6, 42e-6},
+                             std::pair{5e-6, 45e-6}}) {
+    EXPECT_NEAR(k.SeekSeconds(a, b), k.SeekSeconds(-a, -b), 1e-12);
+  }
+}
+
+TEST(KinematicsTest, SeekTimeIsTimeReversalSymmetric) {
+  const SledKinematics k = DefaultKinematics();
+  for (const auto& [a, b] : {std::pair{0.0, 10e-6}, std::pair{-30e-6, 42e-6},
+                             std::pair{5e-6, 45e-6}}) {
+    EXPECT_NEAR(k.SeekSeconds(a, b), k.SeekSeconds(b, a), 1e-12);
+  }
+}
+
+TEST(KinematicsTest, LongerSeeksTakeLonger) {
+  const SledKinematics k = DefaultKinematics();
+  double prev = 0.0;
+  for (double d = 2e-6; d <= 90e-6; d += 2e-6) {
+    const double t = k.SeekSeconds(-45e-6, -45e-6 + d);
+    EXPECT_GT(t, prev) << "d=" << d;
+    prev = t;
+  }
+}
+
+TEST(KinematicsTest, EdgeSeeksSlowerThanCenterSeeks) {
+  // §5.1: spring forces make short seeks near the edges slower than the
+  // same-distance seeks near the center.
+  const SledKinematics k = DefaultKinematics();
+  const double d = 8e-6;
+  const double center = k.SeekSeconds(-d / 2.0, d / 2.0);
+  const double edge = k.SeekSeconds(kHalfRange - d, kHalfRange);
+  EXPECT_GT(edge, center * 1.05);
+}
+
+TEST(KinematicsTest, SpringStrengthSlowsEdgeSeeks) {
+  const SledKinematics weak(SledAxisParams{kAccel, kHalfRange, 0.25});
+  const SledKinematics strong(SledAxisParams{kAccel, kHalfRange, 0.9});
+  const double t_weak = strong.SeekSeconds(30e-6, 48e-6);
+  const double t_strong = weak.SeekSeconds(30e-6, 48e-6);
+  EXPECT_GT(t_weak, t_strong);
+}
+
+// Property check: every closed-form plan, integrated numerically with RK4,
+// must land on the requested end state.
+class PlanIntegrationTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double, double>> {};
+
+TEST_P(PlanIntegrationTest, ClosedFormMatchesNumericIntegration) {
+  const auto [p0, v0, p1, v1] = GetParam();
+  const SledKinematics k = DefaultKinematics();
+  const SledPlan plan = k.Plan(p0, v0, p1, v1);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GE(plan.t_total, 0.0);
+  double p_end = 0.0;
+  double v_end = 0.0;
+  k.IntegratePlan(plan, p0, v0, 1e-8, &p_end, &v_end);
+  EXPECT_NEAR(p_end, p1, 1e-8) << "plan sigma=" << plan.sigma;
+  EXPECT_NEAR(v_end, v1, 1e-4) << "plan sigma=" << plan.sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StateSweep, PlanIntegrationTest,
+    ::testing::Values(
+        // Rest-to-rest seeks, various spans.
+        std::make_tuple(0.0, 0.0, 20e-6, 0.0),
+        std::make_tuple(-45e-6, 0.0, 45e-6, 0.0),
+        std::make_tuple(40e-6, 0.0, 44e-6, 0.0),
+        std::make_tuple(10e-6, 0.0, -35e-6, 0.0),
+        // Arrive at access velocity from rest.
+        std::make_tuple(0.0, 0.0, 10e-6, kVAccess),
+        std::make_tuple(0.0, 0.0, 10e-6, -kVAccess),
+        std::make_tuple(-48e-6, 0.0, -48e-6, kVAccess),
+        // Moving starts.
+        std::make_tuple(5e-6, kVAccess, 5e-6, -kVAccess),
+        std::make_tuple(45e-6, kVAccess, 45e-6, -kVAccess),
+        std::make_tuple(45e-6, -kVAccess, 45e-6, kVAccess),
+        std::make_tuple(-20e-6, kVAccess, 30e-6, kVAccess),
+        std::make_tuple(30e-6, kVAccess, -30e-6, -kVAccess),
+        std::make_tuple(0.0, -kVAccess, 1e-6, kVAccess),
+        // Short hops (row-to-adjacent-row scale).
+        std::make_tuple(0.0, kVAccess, 3.6e-6, kVAccess),
+        std::make_tuple(0.0, kVAccess, -3.6e-6, -kVAccess)));
+
+// Same sweep with the springless model.
+class SpringlessIntegrationTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double, double>> {};
+
+TEST_P(SpringlessIntegrationTest, ClosedFormMatchesNumericIntegration) {
+  const auto [p0, v0, p1, v1] = GetParam();
+  const SledKinematics k = SpringlessKinematics();
+  const SledPlan plan = k.Plan(p0, v0, p1, v1);
+  ASSERT_TRUE(plan.feasible);
+  double p_end = 0.0;
+  double v_end = 0.0;
+  k.IntegratePlan(plan, p0, v0, 1e-8, &p_end, &v_end);
+  EXPECT_NEAR(p_end, p1, 1e-8);
+  EXPECT_NEAR(v_end, v1, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StateSweep, SpringlessIntegrationTest,
+    ::testing::Values(std::make_tuple(0.0, 0.0, 20e-6, 0.0),
+                      std::make_tuple(-45e-6, 0.0, 45e-6, 0.0),
+                      std::make_tuple(5e-6, kVAccess, 5e-6, -kVAccess),
+                      std::make_tuple(-20e-6, kVAccess, 30e-6, kVAccess),
+                      std::make_tuple(0.0, 0.0, 10e-6, -kVAccess)));
+
+TEST(KinematicsTest, PlansStayWithinMobilityWithGuardBand) {
+  // Trajectories may overshoot their endpoints, but never past the sled's
+  // physical mobility range when endpoints are within the media rows
+  // (the +/-48.6 um row span leaves a 1.4 um guard band).
+  const SledKinematics k = DefaultKinematics();
+  const double row_edge = 48.6e-6;
+  for (const double y : {row_edge, -row_edge, 40e-6}) {
+    for (const double v : {kVAccess, -kVAccess}) {
+      const SledPlan plan = k.Plan(y, v, y, -v);
+      // Turnaround overshoot past the row edge always has the spring aiding
+      // the reversal (the spring pulls toward the center), so the effective
+      // deceleration is at least a_max: overshoot <= v^2 / (2 a_max).
+      const double overshoot = kVAccess * kVAccess / (2.0 * kAccel);
+      EXPECT_LE(std::abs(plan.switch_pos), kHalfRange + 1e-12);
+      EXPECT_LE(std::abs(y) + overshoot, kHalfRange + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mstk

@@ -1,0 +1,125 @@
+#include "src/mems/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/rng.h"
+
+namespace mstk {
+namespace {
+
+MemsGeometry DefaultGeometry() { return MemsGeometry(MemsParams{}); }
+
+TEST(MemsParamsTest, Table1DerivedValues) {
+  const MemsParams p;
+  EXPECT_EQ(p.tip_sector_bits(), 90);
+  EXPECT_EQ(p.rows_per_track(), 27);
+  EXPECT_EQ(p.tracks_per_cylinder(), 5);
+  EXPECT_EQ(p.cylinders(), 2500);
+  EXPECT_EQ(p.slots_per_row(), 20);
+  EXPECT_EQ(p.blocks_per_track(), 540);
+  EXPECT_EQ(p.blocks_per_cylinder(), 2700);
+  EXPECT_EQ(p.capacity_blocks(), 6750000);
+  // 3.456e9 bytes = ~3.2 GiB (Table 1: 3.2 GB).
+  EXPECT_EQ(p.capacity_bytes(), 3456000000LL);
+  // 700 kbit/s * 40 nm = 0.028 m/s.
+  EXPECT_NEAR(p.access_velocity(), 0.028, 1e-12);
+  // 90 bits / 700 kbit/s = 0.12857 ms.
+  EXPECT_NEAR(p.row_pass_seconds(), 90.0 / 700e3, 1e-12);
+  // 20 LBNs * 512 B / row pass = 79.6 MB/s (§5.2).
+  EXPECT_NEAR(p.streaming_bytes_per_second() / 1e6, 79.6, 0.1);
+  // One settle constant at 739 Hz is ~0.215 ms (§2.4.2: "e.g. 0.2 ms").
+  EXPECT_NEAR(p.settle_seconds() * 1e3, 0.2154, 0.001);
+}
+
+TEST(MemsGeometryTest, EncodeDecodeRoundTripExhaustiveSample) {
+  const MemsGeometry geom = DefaultGeometry();
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t lbn = rng.UniformInt(geom.capacity_blocks());
+    const MemsAddress addr = geom.Decode(lbn);
+    EXPECT_EQ(geom.Encode(addr), lbn);
+  }
+}
+
+TEST(MemsGeometryTest, DecodeFieldsInRange) {
+  const MemsGeometry geom = DefaultGeometry();
+  const MemsParams& p = geom.params();
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    const MemsAddress a = geom.Decode(rng.UniformInt(geom.capacity_blocks()));
+    EXPECT_GE(a.cylinder, 0);
+    EXPECT_LT(a.cylinder, p.cylinders());
+    EXPECT_GE(a.track, 0);
+    EXPECT_LT(a.track, p.tracks_per_cylinder());
+    EXPECT_GE(a.row, 0);
+    EXPECT_LT(a.row, p.rows_per_track());
+    EXPECT_GE(a.slot, 0);
+    EXPECT_LT(a.slot, p.slots_per_row());
+  }
+}
+
+TEST(MemsGeometryTest, SequentialMappingOrder) {
+  const MemsGeometry geom = DefaultGeometry();
+  // LBN 0..19 share row 0 of track 0, cylinder 0 (parallel slots).
+  for (int64_t lbn = 0; lbn < 20; ++lbn) {
+    const MemsAddress a = geom.Decode(lbn);
+    EXPECT_EQ(a.cylinder, 0);
+    EXPECT_EQ(a.track, 0);
+    EXPECT_EQ(a.row, 0);
+    EXPECT_EQ(a.slot, lbn);
+  }
+  // LBN 20 starts row 1.
+  EXPECT_EQ(geom.Decode(20).row, 1);
+  // LBN 540 starts track 1 of cylinder 0.
+  EXPECT_EQ(geom.Decode(540).track, 1);
+  EXPECT_EQ(geom.Decode(540).cylinder, 0);
+  // LBN 2700 starts cylinder 1.
+  EXPECT_EQ(geom.Decode(2700).cylinder, 1);
+  EXPECT_EQ(geom.Decode(2700).track, 0);
+}
+
+TEST(MemsGeometryTest, CoordinatesSpanMobility) {
+  const MemsGeometry geom = DefaultGeometry();
+  const MemsParams& p = geom.params();
+  const double half = p.half_range_m();
+  // Cylinder centers are strictly inside the range and symmetric.
+  EXPECT_GT(geom.CylinderX(0), -half);
+  EXPECT_LT(geom.CylinderX(p.cylinders() - 1), half);
+  EXPECT_NEAR(geom.CylinderX(0), -geom.CylinderX(p.cylinders() - 1), 1e-12);
+  // Row boundaries are centered with a guard band at each edge.
+  EXPECT_NEAR(geom.RowBoundaryY(0), -geom.RowBoundaryY(p.rows_per_track()), 1e-12);
+  EXPECT_LT(geom.RowBoundaryY(p.rows_per_track()), half);
+  const double guard = half - geom.RowBoundaryY(p.rows_per_track());
+  EXPECT_GT(guard, 1e-6);  // >= 1 um of turnaround guard space
+}
+
+TEST(MemsGeometryTest, CylinderAtXInvertsCylinderX) {
+  const MemsGeometry geom = DefaultGeometry();
+  for (const int32_t c : {0, 1, 100, 1250, 2498, 2499}) {
+    EXPECT_EQ(geom.CylinderAtX(geom.CylinderX(c)), c);
+  }
+  // Clamping outside the media.
+  EXPECT_EQ(geom.CylinderAtX(-1.0), 0);
+  EXPECT_EQ(geom.CylinderAtX(1.0), 2499);
+}
+
+TEST(MemsGeometryTest, NonDefaultParamsStayConsistent) {
+  MemsParams p;
+  p.total_tips = 3200;
+  p.active_tips = 640;
+  p.bits_per_region_x = 1000;
+  p.bits_per_region_y = 1000;
+  const MemsGeometry geom{p};
+  EXPECT_EQ(p.rows_per_track(), 11);  // 1000 / 90
+  EXPECT_EQ(p.slots_per_row(), 10);
+  EXPECT_EQ(geom.capacity_blocks(),
+            static_cast<int64_t>(1000) * 5 * 11 * 10);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t lbn = rng.UniformInt(geom.capacity_blocks());
+    EXPECT_EQ(geom.Encode(geom.Decode(lbn)), lbn);
+  }
+}
+
+}  // namespace
+}  // namespace mstk

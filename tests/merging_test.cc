@@ -1,0 +1,141 @@
+#include "src/sched/merging.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sched/fcfs.h"
+#include "src/sim/rng.h"
+
+namespace mstk {
+namespace {
+
+Request MakeReq(int64_t lbn, int32_t blocks, IoType type = IoType::kRead,
+                double arrival = 0.0) {
+  Request req;
+  req.lbn = lbn;
+  req.block_count = blocks;
+  req.type = type;
+  req.arrival_ms = arrival;
+  return req;
+}
+
+TEST(MergingTest, BackMergeExtendsTail) {
+  FcfsScheduler inner;
+  MergingScheduler sched(&inner);
+  sched.Add(MakeReq(100, 8, IoType::kRead, 1.0));
+  sched.Add(MakeReq(108, 8, IoType::kRead, 2.0));
+  EXPECT_EQ(sched.merges(), 1);
+  EXPECT_EQ(sched.size(), 1);
+  const Request merged = sched.Pop(0.0);
+  EXPECT_EQ(merged.lbn, 100);
+  EXPECT_EQ(merged.block_count, 16);
+  EXPECT_DOUBLE_EQ(merged.arrival_ms, 1.0);  // earliest arrival kept
+}
+
+TEST(MergingTest, FrontMergePrepends) {
+  FcfsScheduler inner;
+  MergingScheduler sched(&inner);
+  sched.Add(MakeReq(108, 8, IoType::kRead, 1.0));
+  sched.Add(MakeReq(100, 8, IoType::kRead, 2.0));
+  EXPECT_EQ(sched.merges(), 1);
+  const Request merged = sched.Pop(0.0);
+  EXPECT_EQ(merged.lbn, 100);
+  EXPECT_EQ(merged.block_count, 16);
+  EXPECT_DOUBLE_EQ(merged.arrival_ms, 1.0);
+}
+
+TEST(MergingTest, CascadeJoinsThree) {
+  FcfsScheduler inner;
+  MergingScheduler sched(&inner);
+  sched.Add(MakeReq(100, 8));
+  sched.Add(MakeReq(116, 8));  // gap
+  sched.Add(MakeReq(108, 8));  // fills the gap: back-merge + cascade
+  EXPECT_EQ(sched.merges(), 2);
+  EXPECT_EQ(sched.size(), 1);
+  const Request merged = sched.Pop(0.0);
+  EXPECT_EQ(merged.lbn, 100);
+  EXPECT_EQ(merged.block_count, 24);
+}
+
+TEST(MergingTest, DifferentTypesDoNotMerge) {
+  FcfsScheduler inner;
+  MergingScheduler sched(&inner);
+  sched.Add(MakeReq(100, 8, IoType::kRead));
+  sched.Add(MakeReq(108, 8, IoType::kWrite));
+  EXPECT_EQ(sched.merges(), 0);
+  EXPECT_EQ(sched.size(), 2);
+}
+
+TEST(MergingTest, RespectsSizeCap) {
+  FcfsScheduler inner;
+  MergingScheduler sched(&inner, /*max_merged_blocks=*/16);
+  sched.Add(MakeReq(100, 12));
+  sched.Add(MakeReq(112, 12));  // would exceed 16
+  EXPECT_EQ(sched.merges(), 0);
+  EXPECT_EQ(sched.size(), 2);
+}
+
+TEST(MergingTest, NonAdjacentStayDistinct) {
+  FcfsScheduler inner;
+  MergingScheduler sched(&inner);
+  sched.Add(MakeReq(100, 8));
+  sched.Add(MakeReq(200, 8));
+  sched.Add(MakeReq(50, 8));
+  EXPECT_EQ(sched.merges(), 0);
+  EXPECT_EQ(sched.size(), 3);
+  int popped = 0;
+  while (!sched.Empty()) {
+    sched.Pop(0.0);
+    ++popped;
+  }
+  EXPECT_EQ(popped, 3);
+}
+
+TEST(MergingTest, ConservesBlocksUnderRandomLoad) {
+  FcfsScheduler inner;
+  MergingScheduler sched(&inner);
+  Rng rng(3);
+  int64_t blocks_in = 0;
+  int64_t blocks_out = 0;
+  for (int round = 0; round < 50; ++round) {
+    const int adds = 1 + static_cast<int>(rng.UniformInt(20));
+    for (int i = 0; i < adds; ++i) {
+      // Clustered starts make merges common.
+      const int64_t lbn = rng.UniformInt(40) * 8;
+      const Request req = MakeReq(lbn, 8,
+                                  rng.Bernoulli(0.7) ? IoType::kRead : IoType::kWrite);
+      blocks_in += req.block_count;
+      sched.Add(req);
+    }
+    while (!sched.Empty()) {
+      blocks_out += sched.Pop(0.0).block_count;
+    }
+  }
+  EXPECT_EQ(blocks_in, blocks_out);
+  EXPECT_GT(sched.merges(), 0);
+}
+
+TEST(MergingTest, OverlappingStartsBypassStaging) {
+  FcfsScheduler inner;
+  MergingScheduler sched(&inner);
+  sched.Add(MakeReq(100, 8));
+  sched.Add(MakeReq(100, 4));  // same start: goes straight to the inner queue
+  EXPECT_EQ(sched.size(), 2);
+  int64_t total = 0;
+  while (!sched.Empty()) {
+    total += sched.Pop(0.0).block_count;
+  }
+  EXPECT_EQ(total, 12);
+}
+
+TEST(MergingTest, ResetClearsEverything) {
+  FcfsScheduler inner;
+  MergingScheduler sched(&inner);
+  sched.Add(MakeReq(100, 8));
+  sched.Add(MakeReq(108, 8));
+  sched.Reset();
+  EXPECT_TRUE(sched.Empty());
+  EXPECT_EQ(sched.merges(), 0);
+}
+
+}  // namespace
+}  // namespace mstk

@@ -1,0 +1,142 @@
+// Model-based differential tests: run randomized operation sequences
+// against both the real implementation and a trivially-correct reference
+// model, and require exact agreement on the observable behavior.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_set>
+
+#include "src/array/raid.h"
+#include "src/cache/block_cache.h"
+#include "src/mems/mems_device.h"
+#include "src/sim/rng.h"
+
+namespace mstk {
+namespace {
+
+// --- BlockCache vs a reference residency set ----------------------------
+// Reference: an LRU list of blocks with the same capacity. The cache's
+// hit/miss accounting must match the reference exactly (no readahead, so
+// residency is purely demand-driven; write-through, because write-back
+// eviction intentionally pulls adjacent dirty blocks out together).
+TEST(ModelBasedTest, BlockCacheResidencyMatchesReferenceLru) {
+  MemsDevice backing;
+  BlockCacheConfig config;
+  config.capacity_blocks = 256;
+  config.readahead_blocks = 0;
+  config.write_policy = WritePolicy::kWriteThrough;
+  BlockCache cache(config, &backing);
+
+  // Reference LRU.
+  std::map<int64_t, std::list<int64_t>::iterator> where;
+  std::list<int64_t> lru;  // front = most recent
+  auto ref_touch = [&](int64_t b) {
+    auto it = where.find(b);
+    if (it != where.end()) {
+      lru.erase(it->second);
+    } else if (static_cast<int64_t>(lru.size()) >= config.capacity_blocks) {
+      where.erase(lru.back());
+      lru.pop_back();
+    }
+    lru.push_front(b);
+    where[b] = lru.begin();
+  };
+
+  Rng rng(123);
+  int64_t expect_hits = 0;
+  int64_t expect_misses = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const int64_t lbn = rng.UniformInt(600);  // working set > capacity
+    const int32_t blocks = 1 + static_cast<int32_t>(rng.UniformInt(8));
+    const bool write = rng.Bernoulli(0.4);
+    // Reference accounting (reads only count in stats).
+    for (int64_t b = lbn; b < lbn + blocks; ++b) {
+      if (!write) {
+        (where.count(b) ? expect_hits : expect_misses) += 1;
+      }
+      ref_touch(b);
+    }
+    Request req;
+    req.lbn = lbn;
+    req.block_count = blocks;
+    req.type = write ? IoType::kWrite : IoType::kRead;
+    cache.ServiceRequest(req, static_cast<double>(step));
+    ASSERT_EQ(cache.stats().blocks_hit, expect_hits) << "step " << step;
+    ASSERT_EQ(cache.stats().blocks_missed, expect_misses) << "step " << step;
+    ASSERT_EQ(cache.resident_blocks(), static_cast<int64_t>(lru.size()));
+  }
+}
+
+// --- RAID-5 mapping bijectivity -----------------------------------------
+// Every array block must map to a unique (member, member-lbn); parity
+// locations must never collide with data.
+TEST(ModelBasedTest, Raid5MappingIsBijectiveAndParityDisjoint) {
+  std::vector<std::unique_ptr<MemsDevice>> devices;
+  std::vector<StorageDevice*> members;
+  for (int i = 0; i < 5; ++i) {
+    devices.push_back(std::make_unique<MemsDevice>());
+    members.push_back(devices.back().get());
+  }
+  const int32_t unit = 16;
+  RaidArray raid(RaidConfig{RaidLevel::kRaid5, unit}, members);
+
+  std::set<std::pair<int, int64_t>> seen;
+  const int64_t rows_to_check = 40;
+  for (int64_t lbn = 0; lbn < rows_to_check * 4 * unit; ++lbn) {
+    const auto mb = raid.MapRaid5Data(lbn);
+    ASSERT_TRUE(seen.insert({mb.member, mb.lbn}).second) << "dup at " << lbn;
+    // Data never lands on its row's parity member.
+    const int64_t row = mb.lbn / unit;
+    ASSERT_NE(mb.member, raid.Raid5ParityMember(row)) << lbn;
+  }
+  // Parity blocks fill exactly the remaining member-lbn slots of each row.
+  for (int64_t row = 0; row < rows_to_check; ++row) {
+    const int parity = raid.Raid5ParityMember(row);
+    for (int64_t off = 0; off < unit; ++off) {
+      ASSERT_TRUE(seen.insert({parity, row * unit + off}).second)
+          << "parity collides with data in row " << row;
+    }
+  }
+  // Everything together tiles rows_to_check * 5 * unit member blocks.
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), rows_to_check * 5 * unit);
+}
+
+TEST(ModelBasedTest, Raid0MappingIsBijective) {
+  std::vector<std::unique_ptr<MemsDevice>> devices;
+  std::vector<StorageDevice*> members;
+  for (int i = 0; i < 3; ++i) {
+    devices.push_back(std::make_unique<MemsDevice>());
+    members.push_back(devices.back().get());
+  }
+  RaidArray raid(RaidConfig{RaidLevel::kRaid0, 32}, members);
+  std::set<std::pair<int, int64_t>> seen;
+  for (int64_t lbn = 0; lbn < 3 * 32 * 50; ++lbn) {
+    const auto mb = raid.MapRaid0(lbn);
+    ASSERT_TRUE(seen.insert({mb.member, mb.lbn}).second) << lbn;
+  }
+}
+
+// --- Sled plans against physical lower bounds ----------------------------
+TEST(ModelBasedTest, SledPlansRespectPhysicalLowerBounds) {
+  const SledKinematics kin(SledAxisParams{803.6, 50e-6, 0.75});
+  const double a_peak = 803.6 * 1.75;  // actuator + full spring assist
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const double p0 = rng.Uniform(-48e-6, 48e-6);
+    const double p1 = rng.Uniform(-48e-6, 48e-6);
+    const double v0 = rng.Bernoulli(0.5) ? 0.028 : -0.028;
+    const double v1 = rng.Bernoulli(0.5) ? 0.028 : -0.028;
+    const double t = kin.TravelSeconds(p0, v0, p1, v1);
+    // Velocity change bound: |dv| <= a_peak * t.
+    ASSERT_GE(t * a_peak + 1e-12, std::abs(v1 - v0)) << i;
+    // Distance bound: |dp| <= v0*t + a_peak*t^2/2 (start speed + full accel).
+    const double reachable =
+        std::abs(v0) * t + 0.5 * a_peak * t * t;
+    ASSERT_GE(reachable + 1e-12, std::abs(p1 - p0)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace mstk

@@ -1,0 +1,160 @@
+#include "src/cache/tiered_store.h"
+
+#include <gtest/gtest.h>
+
+#include "src/disk/disk_device.h"
+#include "src/mems/mems_device.h"
+#include "src/sim/rng.h"
+
+namespace mstk {
+namespace {
+
+Request MakeReq(int64_t lbn, int32_t blocks, IoType type = IoType::kRead) {
+  Request req;
+  req.lbn = lbn;
+  req.block_count = blocks;
+  req.type = type;
+  return req;
+}
+
+class TieredFixture : public ::testing::Test {
+ protected:
+  TieredFixture() : store_(Config(), &mems_, &disk_) {}
+
+  static TieredStoreConfig Config() {
+    TieredStoreConfig config;
+    config.extent_blocks = 64;
+    config.fast_capacity_blocks = 64 * 64;  // 64 extents = 2 MB fast tier
+    return config;
+  }
+
+  MemsDevice mems_;
+  DiskDevice disk_;
+  TieredStore store_;
+};
+
+TEST_F(TieredFixture, CapacityIsSlowTier) {
+  EXPECT_EQ(store_.CapacityBlocks(), disk_.CapacityBlocks());
+}
+
+TEST_F(TieredFixture, MissPromotesThenHitsAreFast) {
+  const double miss = store_.ServiceRequest(MakeReq(100000, 8), 0.0);
+  EXPECT_EQ(store_.stats().promotions, 1);
+  EXPECT_GT(miss, 3.0);  // paid the disk (seek + rotation + promote)
+  const double hit = store_.ServiceRequest(MakeReq(100000, 8), 50.0);
+  EXPECT_EQ(store_.stats().extent_hits, 1);
+  EXPECT_LT(hit, 1.0);  // MEMS only
+  EXPECT_GT(hit, 0.0);
+}
+
+TEST_F(TieredFixture, WholeExtentWriteSkipsFetch) {
+  store_.ServiceRequest(MakeReq(6400, 64, IoType::kWrite), 0.0);
+  EXPECT_EQ(store_.stats().promotions, 0);  // no read from disk
+  EXPECT_EQ(disk_.activity().blocks_read, 0);
+  EXPECT_EQ(mems_.activity().blocks_written, 64);
+}
+
+TEST_F(TieredFixture, PartialWriteFetchesRestOfExtent) {
+  store_.ServiceRequest(MakeReq(6400, 8, IoType::kWrite), 0.0);
+  EXPECT_EQ(store_.stats().promotions, 1);
+  EXPECT_EQ(disk_.activity().blocks_read, 64);
+}
+
+TEST_F(TieredFixture, DirtyEvictionDemotesToSlow) {
+  // Dirty one extent, then stream reads through 64 more extents to force
+  // its eviction.
+  store_.ServiceRequest(MakeReq(0, 64, IoType::kWrite), 0.0);
+  for (int i = 1; i <= 64; ++i) {
+    store_.ServiceRequest(MakeReq(i * 64, 8), i * 100.0);
+  }
+  EXPECT_GE(store_.stats().demotions, 1);
+  EXPECT_EQ(disk_.activity().blocks_written, 64);
+}
+
+TEST_F(TieredFixture, CleanEvictionIsSilent) {
+  store_.ServiceRequest(MakeReq(0, 8), 0.0);  // clean extent
+  for (int i = 1; i <= 64; ++i) {
+    store_.ServiceRequest(MakeReq(i * 64, 8), i * 100.0);
+  }
+  EXPECT_EQ(store_.stats().demotions, 0);
+  EXPECT_EQ(disk_.activity().blocks_written, 0);
+  EXPECT_EQ(store_.resident_extents(), 64);
+}
+
+TEST_F(TieredFixture, BypassSkipsFastTier) {
+  TieredStoreConfig config = Config();
+  config.bypass_blocks = 256;
+  TieredStore store(config, &mems_, &disk_);
+  store.ServiceRequest(MakeReq(0, 512), 0.0);
+  EXPECT_EQ(store.stats().bypasses, 1);
+  EXPECT_EQ(store.stats().promotions, 0);
+  EXPECT_EQ(mems_.activity().requests, 0);
+  EXPECT_EQ(disk_.activity().blocks_read, 512);
+}
+
+TEST_F(TieredFixture, BypassDemotesOverlappingDirtyExtents) {
+  TieredStoreConfig config = Config();
+  config.bypass_blocks = 256;
+  TieredStore store(config, &mems_, &disk_);
+  store.ServiceRequest(MakeReq(64, 64, IoType::kWrite), 0.0);  // dirty extent 1
+  store.ServiceRequest(MakeReq(0, 512), 10.0);                 // bypass read over it
+  EXPECT_EQ(store.stats().demotions, 1);
+  // The dirty data reached the disk before the streaming read.
+  EXPECT_EQ(disk_.activity().blocks_written, 64);
+}
+
+TEST_F(TieredFixture, BypassWriteInvalidatesResidentCopies) {
+  TieredStoreConfig config = Config();
+  config.bypass_blocks = 256;
+  TieredStore store(config, &mems_, &disk_);
+  store.ServiceRequest(MakeReq(64, 8), 0.0);  // extent 1 resident (clean)
+  EXPECT_EQ(store.resident_extents(), 1);
+  store.ServiceRequest(MakeReq(0, 512, IoType::kWrite), 10.0);  // bypass write
+  // The resident copy is stale and must be gone.
+  EXPECT_EQ(store.resident_extents(), 0);
+  // Next read re-fetches from the slow tier (a miss, not a stale hit).
+  const int64_t misses_before = store.stats().extent_misses;
+  store.ServiceRequest(MakeReq(64, 8), 20.0);
+  EXPECT_EQ(store.stats().extent_misses, misses_before + 1);
+}
+
+TEST_F(TieredFixture, BypassReadLeavesCleanCopiesResident) {
+  TieredStoreConfig config = Config();
+  config.bypass_blocks = 256;
+  TieredStore store(config, &mems_, &disk_);
+  store.ServiceRequest(MakeReq(64, 8), 0.0);  // extent 1 resident (clean)
+  store.ServiceRequest(MakeReq(0, 512), 10.0);  // bypass READ: no staleness
+  EXPECT_EQ(store.resident_extents(), 1);
+  // Still a hit afterwards.
+  const int64_t hits_before = store.stats().extent_hits;
+  store.ServiceRequest(MakeReq(64, 8), 20.0);
+  EXPECT_EQ(store.stats().extent_hits, hits_before + 1);
+}
+
+TEST_F(TieredFixture, HotSetConvergesToFastTierLatency) {
+  Rng rng(5);
+  // 32 hot extents (half the fast tier), 2000 accesses.
+  double cold_total = 0.0;
+  double warm_total = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t ext = rng.UniformInt(32);
+    const int64_t lbn = ext * 64 + rng.UniformInt(56);
+    const double t = store_.ServiceRequest(MakeReq(lbn, 8), i * 10.0);
+    (i < 100 ? cold_total : warm_total) += t;
+  }
+  const double warm_mean = warm_total / 1900.0;
+  EXPECT_LT(warm_mean, 1.0);  // fast-tier latencies once warm
+  EXPECT_GT(store_.stats().HitRate(), 0.9);
+}
+
+TEST_F(TieredFixture, ResetRestoresEverything) {
+  store_.ServiceRequest(MakeReq(0, 8), 0.0);
+  store_.Reset();
+  EXPECT_EQ(store_.resident_extents(), 0);
+  EXPECT_EQ(store_.stats().requests, 0);
+  EXPECT_EQ(mems_.activity().requests, 0);
+  EXPECT_EQ(disk_.activity().requests, 0);
+}
+
+}  // namespace
+}  // namespace mstk

@@ -1,0 +1,203 @@
+// mstk_trace — command-line trace tooling.
+//
+//   mstk_trace gen <random|cello|tpcc> <out.trace> [count] [rate] [seed]
+//       Generate a synthetic workload and write it as an ASCII trace.
+//   mstk_trace stats <in.trace>
+//       Print arrival/size/locality statistics for a trace.
+//   mstk_trace replay <in.trace> <mems|disk> <fcfs|sstf|clook|look|sptf>
+//              [scale]
+//       Replay a trace against a device model under a scheduler and print
+//       the paper's metrics (mean response, sigma^2/mu^2, tail).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/disk/disk_device.h"
+#include "src/mems/mems_device.h"
+#include "src/sched/clook.h"
+#include "src/sched/fcfs.h"
+#include "src/sched/look.h"
+#include "src/sched/sptf.h"
+#include "src/sched/sstf_lbn.h"
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+#include "src/workload/analysis.h"
+#include "src/workload/cello_like.h"
+#include "src/workload/random_workload.h"
+#include "src/workload/tpcc_like.h"
+#include "src/workload/trace.h"
+
+namespace {
+
+using namespace mstk;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mstk_trace gen <random|cello|tpcc> <out.trace> [count] [rate] [seed]\n"
+               "  mstk_trace stats <in.trace>\n"
+               "  mstk_trace replay <in.trace> <mems|disk> "
+               "<fcfs|sstf|clook|look|sptf> [scale]\n"
+               "  mstk_trace convert <in.disksim> <out.trace> [devno]\n");
+  return 2;
+}
+
+int CmdConvert(int argc, char** argv) {
+  if (argc < 4) {
+    return Usage();
+  }
+  const int devno = argc > 4 ? std::atoi(argv[4]) : -1;
+  std::string error;
+  const auto requests = ReadDiskSimTrace(argv[2], devno, &error);
+  if (requests.empty()) {
+    std::fprintf(stderr, "error: %s\n",
+                 error.empty() ? "no matching records" : error.c_str());
+    return 1;
+  }
+  if (!WriteTraceFile(argv[3], requests)) {
+    std::fprintf(stderr, "error: cannot write %s\n", argv[3]);
+    return 1;
+  }
+  std::printf("converted %zu requests (devno %d) to %s\n", requests.size(), devno,
+              argv[3]);
+  return 0;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 4) {
+    return Usage();
+  }
+  const std::string kind = argv[2];
+  const std::string path = argv[3];
+  const int64_t count = argc > 4 ? std::atoll(argv[4]) : 20000;
+  const double rate = argc > 5 ? std::atof(argv[5]) : 0.0;
+  const uint64_t seed = argc > 6 ? static_cast<uint64_t>(std::atoll(argv[6])) : 1;
+  const int64_t capacity = MemsParams{}.capacity_blocks();
+
+  Rng rng(seed);
+  std::vector<Request> requests;
+  if (kind == "random") {
+    RandomWorkloadConfig config;
+    config.request_count = count;
+    config.capacity_blocks = capacity;
+    if (rate > 0.0) {
+      config.arrival_rate_per_s = rate;
+    }
+    requests = GenerateRandomWorkload(config, rng);
+  } else if (kind == "cello") {
+    CelloLikeConfig config;
+    config.request_count = count;
+    config.capacity_blocks = capacity;
+    if (rate > 0.0) {
+      config.base_rate_per_s = rate;
+    }
+    requests = GenerateCelloLike(config, rng);
+  } else if (kind == "tpcc") {
+    TpccLikeConfig config;
+    config.request_count = count;
+    config.capacity_blocks = capacity;
+    if (rate > 0.0) {
+      config.base_rate_per_s = rate;
+    }
+    requests = GenerateTpccLike(config, rng);
+  } else {
+    return Usage();
+  }
+  if (!WriteTraceFile(path, requests)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu requests to %s\n", requests.size(), path.c_str());
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  std::string error;
+  const auto requests = ReadTraceFile(argv[2], &error);
+  if (requests.empty()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::fputs(FormatProfile(AnalyzeWorkload(requests)).c_str(), stdout);
+  return 0;
+}
+
+int CmdReplay(int argc, char** argv) {
+  if (argc < 5) {
+    return Usage();
+  }
+  std::string error;
+  auto requests = ReadTraceFile(argv[2], &error);
+  if (requests.empty()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const double scale = argc > 5 ? std::atof(argv[5]) : 1.0;
+  if (scale != 1.0) {
+    requests = ScaleTrace(requests, scale);
+  }
+
+  std::unique_ptr<StorageDevice> device;
+  if (std::strcmp(argv[3], "mems") == 0) {
+    device = std::make_unique<MemsDevice>();
+  } else if (std::strcmp(argv[3], "disk") == 0) {
+    device = std::make_unique<DiskDevice>();
+  } else {
+    return Usage();
+  }
+  requests = ClampTraceToCapacity(requests, device->CapacityBlocks());
+
+  std::unique_ptr<IoScheduler> scheduler;
+  const std::string sched_name = argv[4];
+  if (sched_name == "fcfs") {
+    scheduler = std::make_unique<FcfsScheduler>();
+  } else if (sched_name == "sstf") {
+    scheduler = std::make_unique<SstfLbnScheduler>();
+  } else if (sched_name == "clook") {
+    scheduler = std::make_unique<ClookScheduler>();
+  } else if (sched_name == "look") {
+    scheduler = std::make_unique<LookScheduler>();
+  } else if (sched_name == "sptf") {
+    scheduler = std::make_unique<SptfScheduler>(device.get());
+  } else {
+    return Usage();
+  }
+
+  ExperimentResult result = RunOpenLoop(device.get(), scheduler.get(), requests);
+  std::printf("device=%s scheduler=%s scale=%.1f requests=%zu\n", device->name(),
+              scheduler->name(), scale, requests.size());
+  std::printf("mean response:  %.3f ms\n", result.MeanResponseMs());
+  std::printf("mean service:   %.3f ms\n", result.MeanServiceMs());
+  std::printf("sigma^2/mu^2:   %.3f\n", result.ResponseScv());
+  std::printf("p99 response:   %.3f ms\n", result.metrics.ResponseQuantile(0.99));
+  std::printf("device busy:    %.1f%%\n",
+              100.0 * result.activity.busy_ms / result.makespan_ms);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  if (std::strcmp(argv[1], "gen") == 0) {
+    return CmdGen(argc, argv);
+  }
+  if (std::strcmp(argv[1], "stats") == 0) {
+    return CmdStats(argc, argv);
+  }
+  if (std::strcmp(argv[1], "replay") == 0) {
+    return CmdReplay(argc, argv);
+  }
+  if (std::strcmp(argv[1], "convert") == 0) {
+    return CmdConvert(argc, argv);
+  }
+  return Usage();
+}
