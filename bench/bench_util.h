@@ -1,12 +1,20 @@
 // Shared helpers for the experiment benches.
 //
-// Every bench prints an aligned text table by default; pass --csv for
-// machine-readable output and --fast for a quicker, lower-resolution run
-// (fewer requests / sweep points).
+// Every bench prints an aligned text table by default; the shared flag
+// surface is:
+//   --csv          machine-readable output
+//   --fast         quicker, lower-resolution run (fewer requests)
+//   --trials N     independent trials per cell (default 1); tables then show
+//                  "mean±ci95" and JSON carries the full aggregate
+//   --jobs N       worker threads for the trial fan-out (0 = all cores)
+//   --json PATH    write a JSON document of every cell's aggregate
+//   --seed S       base seed for the per-trial seed derivation
 #ifndef MSTK_BENCH_BENCH_UTIL_H_
 #define MSTK_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -14,28 +22,72 @@
 #include "src/core/experiment.h"
 #include "src/core/io_scheduler.h"
 #include "src/core/storage_device.h"
+#include "src/core/trial_runner.h"
+#include "src/mems/mems_device.h"
+#include "src/sched/clook.h"
+#include "src/sched/fcfs.h"
+#include "src/sched/sptf.h"
+#include "src/sched/sstf_lbn.h"
+#include "src/sim/json_writer.h"
+#include "src/sim/rng.h"
+#include "src/workload/cello_like.h"
+#include "src/workload/random_workload.h"
+#include "src/workload/tpcc_like.h"
 
 namespace mstk {
 
 struct BenchOptions {
   bool csv = false;
   bool fast = false;
+  int64_t trials = 1;
+  int jobs = 0;  // 0 = one worker per hardware core
+  uint64_t seed = 1;
+  std::string json_path;
 
   static BenchOptions Parse(int argc, char** argv) {
     BenchOptions opts;
     for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--csv") == 0) {
+      const char* arg = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (std::strcmp(arg, "--csv") == 0) {
         opts.csv = true;
-      } else if (std::strcmp(argv[i], "--fast") == 0) {
+      } else if (std::strcmp(arg, "--fast") == 0) {
         opts.fast = true;
+      } else if (std::strcmp(arg, "--trials") == 0) {
+        opts.trials = std::atoll(next());
+      } else if (std::strcmp(arg, "--jobs") == 0) {
+        opts.jobs = std::atoi(next());
+      } else if (std::strcmp(arg, "--seed") == 0) {
+        opts.seed = std::strtoull(next(), nullptr, 10);
+      } else if (std::strcmp(arg, "--json") == 0) {
+        opts.json_path = next();
       } else {
-        std::fprintf(stderr, "usage: %s [--csv] [--fast]\n", argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s [--csv] [--fast] [--trials N] [--jobs N] "
+                     "[--seed S] [--json PATH]\n",
+                     argv[0]);
+        std::exit(2);
       }
     }
+    if (opts.trials < 1) opts.trials = 1;
     return opts;
   }
 
   int64_t Scale(int64_t full) const { return fast ? full / 5 : full; }
+
+  TrialRunner::Options TrialOptions() const {
+    TrialRunner::Options t;
+    t.trials = trials;
+    t.jobs = jobs;
+    t.base_seed = seed;
+    return t;
+  }
 };
 
 // Prints one row of either CSV or fixed-width cells.
@@ -48,7 +100,13 @@ class TableWriter {
       if (csv_) {
         std::printf("%s%s", cells[i].c_str(), i + 1 < cells.size() ? "," : "");
       } else {
-        std::printf("%-*s", i == 0 ? 18 : width, cells[i].c_str());
+        // Pad by display width, not bytes: "±" in CI cells is multibyte.
+        int display = 0;
+        for (unsigned char c : cells[i]) {
+          if ((c & 0xC0) != 0x80) ++display;
+        }
+        const int pad = (i == 0 ? 18 : width) - display;
+        std::printf("%s%*s", cells[i].c_str(), pad > 0 ? pad : 0, "");
       }
     }
     std::printf("\n");
@@ -64,6 +122,55 @@ inline std::string Fmt(const char* fmt, double v) {
   return buf;
 }
 
+// "1.234" for single trials, "1.234±0.056" (95% CI half-width) otherwise.
+inline std::string FmtCi(const char* fmt, const AggregateMetric& m) {
+  std::string cell = Fmt(fmt, m.mean);
+  if (m.ci95_hi > m.ci95_lo) {
+    cell += "\xC2\xB1";  // U+00B1 PLUS-MINUS
+    cell += Fmt(fmt, (m.ci95_hi - m.ci95_lo) / 2.0);
+  }
+  return cell;
+}
+
+// Collects (cell label -> aggregate) pairs and serializes the whole bench
+// as one JSON document: {"bench":..,"trials":..,"cells":[{"name":..,...}]}.
+class BenchJson {
+ public:
+  BenchJson(std::string bench_name, const BenchOptions& opts)
+      : bench_name_(std::move(bench_name)), opts_(opts) {}
+
+  void AddCell(const std::string& name, const AggregateResult& agg) {
+    cells_.emplace_back(name, agg);
+  }
+
+  // Writes the document if --json was given. Returns false on I/O error.
+  bool WriteIfRequested() const {
+    if (opts_.json_path.empty()) return true;
+    JsonWriter json;
+    json.BeginObject();
+    json.KV("bench", bench_name_);
+    json.KV("base_seed", opts_.seed);
+    json.KV("trials", opts_.trials);
+    json.Key("cells");
+    json.BeginArray();
+    for (const auto& [name, agg] : cells_) {
+      json.BeginObject();
+      json.KV("name", name);
+      json.Key("result");
+      agg.AppendJson(json);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    return WriteFileOrReport(opts_.json_path, json.TakeString());
+  }
+
+ private:
+  std::string bench_name_;
+  const BenchOptions& opts_;
+  std::vector<std::pair<std::string, AggregateResult>> cells_;
+};
+
 // Runs the sweep core of the scheduling figures: one (device, scheduler,
 // rate) cell of Fig 5/6/8.
 struct SchedulingCell {
@@ -75,6 +182,88 @@ inline SchedulingCell RunSchedulingCell(StorageDevice* device, IoScheduler* sche
                                         const std::vector<Request>& requests) {
   const ExperimentResult result = RunOpenLoop(device, scheduler, requests);
   return SchedulingCell{result.MeanResponseMs(), result.ResponseScv()};
+}
+
+// ---------------------------------------------------------------------------
+// Self-contained trial bodies for the multi-trial scheduling figures. Each
+// call owns its device, scheduler, and event queue, so trials are safe to
+// fan out across a ThreadPool; randomness comes only from `seed`. Shared by
+// fig6/fig7 and tools/mstk_sweep so the sweep artifacts measure exactly the
+// figure cells.
+
+enum class SchedKind { kFcfs, kSstfLbn, kClook, kSptf };
+
+inline const char* SchedKindName(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::kFcfs: return "FCFS";
+    case SchedKind::kSstfLbn: return "SSTF_LBN";
+    case SchedKind::kClook: return "C-LOOK";
+    case SchedKind::kSptf: return "SPTF";
+  }
+  return "?";
+}
+
+inline ExperimentResult RunWithScheduler(StorageDevice* device, SchedKind kind,
+                                         const std::vector<Request>& requests) {
+  switch (kind) {
+    case SchedKind::kFcfs: {
+      FcfsScheduler sched;
+      return RunOpenLoop(device, &sched, requests);
+    }
+    case SchedKind::kSstfLbn: {
+      SstfLbnScheduler sched;
+      return RunOpenLoop(device, &sched, requests);
+    }
+    case SchedKind::kClook: {
+      ClookScheduler sched;
+      return RunOpenLoop(device, &sched, requests);
+    }
+    case SchedKind::kSptf: {
+      SptfScheduler sched(device);
+      return RunOpenLoop(device, &sched, requests);
+    }
+  }
+  FcfsScheduler sched;
+  return RunOpenLoop(device, &sched, requests);
+}
+
+// One Fig 6 cell trial: random workload at `rate` on a fresh MEMS device.
+inline ExperimentResult RunRandomSchedTrial(SchedKind kind, double rate, int64_t count,
+                                            uint64_t seed) {
+  MemsDevice device;
+  RandomWorkloadConfig config;
+  config.arrival_rate_per_s = rate;
+  config.request_count = count;
+  config.capacity_blocks = device.CapacityBlocks();
+  Rng rng(seed);
+  const auto requests = GenerateRandomWorkload(config, rng);
+  return RunWithScheduler(&device, kind, requests);
+}
+
+// One Fig 7(a) cell trial: cello-like trace at time-scale `scale`.
+inline ExperimentResult RunCelloSchedTrial(SchedKind kind, double scale, int64_t count,
+                                           uint64_t seed) {
+  MemsDevice device;
+  CelloLikeConfig config;
+  config.request_count = count;
+  config.capacity_blocks = device.CapacityBlocks();
+  config.scale = scale;
+  Rng rng(seed);
+  const auto requests = GenerateCelloLike(config, rng);
+  return RunWithScheduler(&device, kind, requests);
+}
+
+// One Fig 7(b) cell trial: tpcc-like trace at time-scale `scale`.
+inline ExperimentResult RunTpccSchedTrial(SchedKind kind, double scale, int64_t count,
+                                          uint64_t seed) {
+  MemsDevice device;
+  TpccLikeConfig config;
+  config.request_count = count;
+  config.capacity_blocks = device.CapacityBlocks();
+  config.scale = scale;
+  Rng rng(seed);
+  const auto requests = GenerateTpccLike(config, rng);
+  return RunWithScheduler(&device, kind, requests);
 }
 
 }  // namespace mstk

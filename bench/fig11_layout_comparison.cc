@@ -20,15 +20,19 @@
 // simple by 13-20% on MEMS; subregioned/columnar edge out organ pipe; with
 // zero settle the subregioned layout (which optimizes X and Y) wins by a
 // further margin; Atlas gains ~13% from organ pipe.
-#include <algorithm>
+//
+// Multi-trial: with --trials N each cell replays N access streams (and, for
+// the simple layout, N random placements); streams depend only on the trial
+// seed, so every layout/device cell of a trial sees the same accesses. The
+// shared bipartite/organ-pipe placements are deterministic and read-only,
+// so trials fan out across --jobs workers safely.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/disk/disk_device.h"
 #include "src/layout/placements.h"
-#include "src/mems/mems_device.h"
-#include "src/sim/rng.h"
 
 namespace {
 
@@ -114,14 +118,8 @@ Placement MakeOrganPipePlacement(int64_t capacity) {
   return p;
 }
 
-struct AccessStats {
-  double mean_ms = 0.0;
-  double small_ms = 0.0;
-  double large_ms = 0.0;
-};
-
-AccessStats MeasureAccesses(StorageDevice* device, const Placement& placement,
-                            const std::vector<Access>& accesses) {
+TrialMetrics MeasureAccesses(StorageDevice* device, const Placement& placement,
+                             const std::vector<Access>& accesses) {
   device->Reset();
   double total = 0.0;
   double small_total = 0.0;
@@ -156,77 +154,114 @@ AccessStats MeasureAccesses(StorageDevice* device, const Placement& placement,
       ++smalls;
     }
   }
-  AccessStats stats;
-  stats.mean_ms = total / static_cast<double>(accesses.size());
-  stats.small_ms = smalls > 0 ? small_total / static_cast<double>(smalls) : 0.0;
-  stats.large_ms = larges > 0 ? large_total / static_cast<double>(larges) : 0.0;
-  return stats;
+  return {
+      {"mean_ms", total / static_cast<double>(accesses.size())},
+      {"small_ms", smalls > 0 ? small_total / static_cast<double>(smalls) : 0.0},
+      {"large_ms", larges > 0 ? large_total / static_cast<double>(larges) : 0.0},
+  };
 }
+
+enum class LayoutKind { kSimple, kOrganPipe, kSubregioned, kColumnar };
+enum class DeviceKind { kMems, kNoSettle, kAtlas };
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::Parse(argc, argv);
   const TableWriter table(opts.csv);
+  BenchJson json("fig11_layout_comparison", opts);
   const int64_t count = opts.Scale(10000);
 
-  Rng rng(55);
-  const std::vector<Access> accesses = MakeAccesses(count, rng);
-
-  MemsParams no_settle_params;
-  no_settle_params.settle_constants = 0.0;
-  MemsDevice mems_default;
-  MemsDevice mems_nosettle(no_settle_params);
-  DiskDevice atlas;
-
-  struct RowResult {
-    AccessStats mems, nosettle, disk;
-    bool has_disk;
-  };
-  std::vector<std::pair<const char*, RowResult>> rows;
-
-  // --- simple ----------------------------------------------------------
-  Rng place_rng(77);
-  const Placement simple_mems = MakeSimplePlacement(mems_default.CapacityBlocks(), place_rng);
-  Rng place_rng2(77);
-  const Placement simple_disk = MakeSimplePlacement(atlas.CapacityBlocks(), place_rng2);
-  rows.push_back({"simple",
-                  {MeasureAccesses(&mems_default, simple_mems, accesses),
-                   MeasureAccesses(&mems_nosettle, simple_mems, accesses),
-                   MeasureAccesses(&atlas, simple_disk, accesses), true}});
-
-  // --- organ pipe ------------------------------------------------------
-  const Placement organ_mems = MakeOrganPipePlacement(mems_default.CapacityBlocks());
-  const Placement organ_disk = MakeOrganPipePlacement(atlas.CapacityBlocks());
-  rows.push_back({"organ-pipe",
-                  {MeasureAccesses(&mems_default, organ_mems, accesses),
-                   MeasureAccesses(&mems_nosettle, organ_mems, accesses),
-                   MeasureAccesses(&atlas, organ_disk, accesses), true}});
-
-  // --- subregioned / columnar (MEMS only) ------------------------------
+  // Deterministic shared placements (read-only across trial threads).
+  const MemsDevice mems_probe;
+  const DiskDevice atlas_probe;
+  const Placement organ_mems = MakeOrganPipePlacement(mems_probe.CapacityBlocks());
+  const Placement organ_disk = MakeOrganPipePlacement(atlas_probe.CapacityBlocks());
   const ExtentLayout subregioned =
-      MakeSubregionedBipartiteLayout(mems_default.geometry(), kSmallPool, kLargePool);
+      MakeSubregionedBipartiteLayout(mems_probe.geometry(), kSmallPool, kLargePool);
   const ExtentLayout columnar =
-      MakeColumnarBipartiteLayout(mems_default.geometry(), kSmallPool, kLargePool);
+      MakeColumnarBipartiteLayout(mems_probe.geometry(), kSmallPool, kLargePool);
   Placement sub_place;
   sub_place.bipartite = &subregioned;
   Placement col_place;
   col_place.bipartite = &columnar;
-  rows.push_back({"subregioned",
-                  {MeasureAccesses(&mems_default, sub_place, accesses),
-                   MeasureAccesses(&mems_nosettle, sub_place, accesses), {}, false}});
-  rows.push_back({"columnar",
-                  {MeasureAccesses(&mems_default, col_place, accesses),
-                   MeasureAccesses(&mems_nosettle, col_place, accesses), {}, false}});
+
+  TrialRunner::Options trial_opts = opts.TrialOptions();
+  trial_opts.base_seed = DeriveTrialSeed(opts.seed, 55);
+
+  // One (layout, device) cell: N trials, each replaying a fresh access
+  // stream (same stream across all cells of a trial) on a fresh device.
+  auto run_cell = [&](LayoutKind layout, DeviceKind device_kind) {
+    return TrialRunner::Run(trial_opts, [&, layout, device_kind](uint64_t seed, int64_t) {
+      Rng rng(seed);
+      const std::vector<Access> accesses = MakeAccesses(count, rng);
+
+      MemsParams no_settle_params;
+      no_settle_params.settle_constants = 0.0;
+      MemsDevice mems(device_kind == DeviceKind::kNoSettle ? no_settle_params
+                                                           : MemsParams{});
+      DiskDevice atlas;
+      StorageDevice* device = device_kind == DeviceKind::kAtlas
+                                  ? static_cast<StorageDevice*>(&atlas)
+                                  : &mems;
+
+      switch (layout) {
+        case LayoutKind::kSimple: {
+          Rng place_rng(DeriveTrialSeed(seed, 77));
+          const Placement p = MakeSimplePlacement(device->CapacityBlocks(), place_rng);
+          return MeasureAccesses(device, p, accesses);
+        }
+        case LayoutKind::kOrganPipe:
+          return MeasureAccesses(
+              device, device_kind == DeviceKind::kAtlas ? organ_disk : organ_mems,
+              accesses);
+        case LayoutKind::kSubregioned:
+          return MeasureAccesses(device, sub_place, accesses);
+        case LayoutKind::kColumnar:
+          return MeasureAccesses(device, col_place, accesses);
+      }
+      return TrialMetrics{};
+    });
+  };
+
+  struct RowResult {
+    AggregateResult mems, nosettle, disk;
+    bool has_disk;
+  };
+  const struct {
+    const char* name;
+    LayoutKind layout;
+    bool has_disk;
+  } kRows[] = {
+      {"simple", LayoutKind::kSimple, true},
+      {"organ-pipe", LayoutKind::kOrganPipe, true},
+      {"subregioned", LayoutKind::kSubregioned, false},
+      {"columnar", LayoutKind::kColumnar, false},
+  };
+
+  std::vector<std::pair<const char*, RowResult>> rows;
+  for (const auto& spec : kRows) {
+    RowResult r;
+    r.mems = run_cell(spec.layout, DeviceKind::kMems);
+    r.nosettle = run_cell(spec.layout, DeviceKind::kNoSettle);
+    r.has_disk = spec.has_disk;
+    if (spec.has_disk) r.disk = run_cell(spec.layout, DeviceKind::kAtlas);
+    json.AddCell(std::string(spec.name) + "/mems", r.mems);
+    json.AddCell(std::string(spec.name) + "/nosettle", r.nosettle);
+    if (spec.has_disk) json.AddCell(std::string(spec.name) + "/atlas", r.disk);
+    rows.push_back({spec.name, std::move(r)});
+  }
 
   std::printf("Figure 11: mean access time (ms) by layout and device\n");
   std::printf("(small = 4 KB requests, large = 400 KB requests)\n");
   table.Row({"layout", "MEMS", "MEMS-small", "MEMS-large", "nosettle", "Atlas10K"},
             12);
   for (const auto& [name, r] : rows) {
-    table.Row({name, Fmt("%.3f", r.mems.mean_ms), Fmt("%.3f", r.mems.small_ms),
-               Fmt("%.3f", r.mems.large_ms), Fmt("%.3f", r.nosettle.mean_ms),
-               r.has_disk ? Fmt("%.3f", r.disk.mean_ms) : "-"},
+    table.Row({name, FmtCi("%.3f", r.mems.Get("mean_ms")),
+               FmtCi("%.3f", r.mems.Get("small_ms")),
+               FmtCi("%.3f", r.mems.Get("large_ms")),
+               FmtCi("%.3f", r.nosettle.Get("mean_ms")),
+               r.has_disk ? FmtCi("%.3f", r.disk.Get("mean_ms")) : "-"},
               12);
   }
 
@@ -235,11 +270,18 @@ int main(int argc, char** argv) {
   const RowResult& base = rows[0].second;
   for (size_t i = 1; i < rows.size(); ++i) {
     const RowResult& r = rows[i].second;
-    table.Row({rows[i].first,
-               Fmt("%.1f", (1.0 - r.mems.mean_ms / base.mems.mean_ms) * 100.0),
-               Fmt("%.1f", (1.0 - r.nosettle.mean_ms / base.nosettle.mean_ms) * 100.0),
-               r.has_disk ? Fmt("%.1f", (1.0 - r.disk.mean_ms / base.disk.mean_ms) * 100.0)
-                          : "-"});
+    table.Row(
+        {rows[i].first,
+         Fmt("%.1f", (1.0 - r.mems.Get("mean_ms").mean / base.mems.Get("mean_ms").mean) *
+                         100.0),
+         Fmt("%.1f", (1.0 - r.nosettle.Get("mean_ms").mean /
+                                base.nosettle.Get("mean_ms").mean) *
+                         100.0),
+         r.has_disk
+             ? Fmt("%.1f", (1.0 - r.disk.Get("mean_ms").mean /
+                                      base.disk.Get("mean_ms").mean) *
+                               100.0)
+             : "-"});
   }
-  return 0;
+  return json.WriteIfRequested() ? 0 : 1;
 }

@@ -5,49 +5,46 @@
 // but the FCFS-vs-LBN-based gap is relatively larger (seek time dominates
 // service time; no rotational delay) and the C-LOOK-vs-SSTF_LBN gap smaller
 // (both leave Y seeks unaddressed).
+//
+// Multi-trial: with --trials N every (rate, scheduler) cell is N independent
+// request streams fanned across --jobs workers; trial seeds depend only on
+// (base seed, rate, trial), so all four schedulers see identical streams.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/mems/mems_device.h"
-#include "src/sched/clook.h"
-#include "src/sched/fcfs.h"
-#include "src/sched/sptf.h"
-#include "src/sched/sstf_lbn.h"
-#include "src/sim/rng.h"
-#include "src/workload/random_workload.h"
 
 int main(int argc, char** argv) {
   using namespace mstk;
   const BenchOptions opts = BenchOptions::Parse(argc, argv);
   const TableWriter table(opts.csv);
+  BenchJson json("fig6_mems_scheduling", opts);
 
-  MemsDevice device;
-  FcfsScheduler fcfs;
-  SstfLbnScheduler sstf;
-  ClookScheduler clook;
-  SptfScheduler sptf(&device);
-  IoScheduler* scheds[] = {&fcfs, &sstf, &clook, &sptf};
-
+  const SchedKind scheds[] = {SchedKind::kFcfs, SchedKind::kSstfLbn, SchedKind::kClook,
+                              SchedKind::kSptf};
   const std::vector<double> rates = {200, 400, 600, 800, 1000, 1200,
                                      1400, 1600, 1800, 2000};
   const int64_t count = opts.Scale(10000);
 
   std::printf("Figure 6(a): MEMS device, random workload — mean response time (ms)\n");
   table.Row({"rate_per_s", "FCFS", "SSTF_LBN", "C-LOOK", "SPTF"});
-  std::vector<std::vector<SchedulingCell>> cells(rates.size());
+  std::vector<std::vector<AggregateResult>> cells(rates.size());
   for (size_t r = 0; r < rates.size(); ++r) {
-    RandomWorkloadConfig config;
-    config.arrival_rate_per_s = rates[r];
-    config.request_count = count;
-    config.capacity_blocks = device.CapacityBlocks();
-    Rng rng(2000 + static_cast<uint64_t>(r));
-    const auto requests = GenerateRandomWorkload(config, rng);
+    // One seed stream per rate (not per scheduler): every scheduler in this
+    // row services the same N request streams, as in the paper.
+    TrialRunner::Options trial_opts = opts.TrialOptions();
+    trial_opts.base_seed = DeriveTrialSeed(opts.seed, 2000 + static_cast<int64_t>(r));
     std::vector<std::string> row = {Fmt("%.0f", rates[r])};
-    for (IoScheduler* sched : scheds) {
-      const SchedulingCell cell = RunSchedulingCell(&device, sched, requests);
-      cells[r].push_back(cell);
-      row.push_back(Fmt("%.3f", cell.mean_response_ms));
+    for (SchedKind sched : scheds) {
+      const double rate = rates[r];
+      const AggregateResult agg = TrialRunner::RunExperiments(
+          trial_opts, [sched, rate, count](uint64_t seed, int64_t) {
+            return RunRandomSchedTrial(sched, rate, count, seed);
+          });
+      row.push_back(FmtCi("%.3f", agg.Get("mean_response_ms")));
+      json.AddCell("rate" + Fmt("%.0f", rates[r]) + "/" + SchedKindName(sched), agg);
+      cells[r].push_back(agg);
     }
     table.Row(row);
   }
@@ -56,8 +53,8 @@ int main(int argc, char** argv) {
   table.Row({"rate_per_s", "FCFS", "SSTF_LBN", "C-LOOK", "SPTF"});
   for (size_t r = 0; r < rates.size(); ++r) {
     std::vector<std::string> row = {Fmt("%.0f", rates[r])};
-    for (const SchedulingCell& cell : cells[r]) {
-      row.push_back(Fmt("%.2f", cell.scv));
+    for (const AggregateResult& agg : cells[r]) {
+      row.push_back(FmtCi("%.2f", agg.Get("response_scv")));
     }
     table.Row(row);
   }
@@ -69,16 +66,16 @@ int main(int argc, char** argv) {
   std::printf("\nSPTF detail over the paper's anomalous region (smooth here):\n");
   table.Row({"rate_per_s", "mean_resp_ms", "mean_queue", "mean_service_ms"});
   for (double rate = 1400.0; rate <= 2000.0 + 1.0; rate += 100.0) {
-    RandomWorkloadConfig config;
-    config.arrival_rate_per_s = rate;
-    config.request_count = count;
-    config.capacity_blocks = device.CapacityBlocks();
-    Rng rng(9000 + static_cast<uint64_t>(rate));
-    const auto requests = GenerateRandomWorkload(config, rng);
-    const ExperimentResult result = RunOpenLoop(&device, &sptf, requests);
-    table.Row({Fmt("%.0f", rate), Fmt("%.3f", result.MeanResponseMs()),
-               Fmt("%.1f", result.metrics.queue_depth().mean()),
-               Fmt("%.3f", result.MeanServiceMs())});
+    TrialRunner::Options trial_opts = opts.TrialOptions();
+    trial_opts.base_seed = DeriveTrialSeed(opts.seed, 9000 + static_cast<int64_t>(rate));
+    const AggregateResult agg = TrialRunner::RunExperiments(
+        trial_opts, [rate, count](uint64_t seed, int64_t) {
+          return RunRandomSchedTrial(SchedKind::kSptf, rate, count, seed);
+        });
+    table.Row({Fmt("%.0f", rate), FmtCi("%.3f", agg.Get("mean_response_ms")),
+               FmtCi("%.1f", agg.Get("mean_queue_depth")),
+               FmtCi("%.3f", agg.Get("mean_service_ms"))});
+    json.AddCell("sptf_detail_rate" + Fmt("%.0f", rate), agg);
   }
-  return 0;
+  return json.WriteIfRequested() ? 0 : 1;
 }

@@ -1,0 +1,146 @@
+#include "src/sim/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mstk {
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  Raw("{");
+  stack_.push_back({Scope::kObject});
+}
+
+void JsonWriter::EndObject() {
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    Raw("\n");
+    Indent();
+  }
+  Raw("}");
+  if (stack_.empty()) Raw("\n");
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  Raw("[");
+  stack_.push_back({Scope::kArray});
+}
+
+void JsonWriter::EndArray() {
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    Raw("\n");
+    Indent();
+  }
+  Raw("]");
+  if (stack_.empty()) Raw("\n");
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (stack_.back().has_items) Raw(",");
+  Raw("\n");
+  stack_.back().has_items = true;
+  Indent();
+  Raw("\"");
+  for (char c : key) {
+    if (c == '"' || c == '\\') out_.push_back('\\');
+    out_.push_back(c);
+  }
+  Raw("\": ");
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  Raw("\"");
+  for (unsigned char c : value) {
+    switch (c) {
+      case '"': Raw("\\\""); break;
+      case '\\': Raw("\\\\"); break;
+      case '\n': Raw("\\n"); break;
+      case '\r': Raw("\\r"); break;
+      case '\t': Raw("\\t"); break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          Raw(buf);
+        } else {
+          out_.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  Raw("\"");
+}
+
+void JsonWriter::Double(double value) {
+  if (!std::isfinite(value)) {
+    Null();
+    return;
+  }
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  Raw(buf);
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  Raw(buf);
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  Raw(buf);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  Raw(value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  Raw("null");
+}
+
+std::string JsonWriter::TakeString() { return std::move(out_); }
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  if (stack_.back().scope == Scope::kArray) {
+    if (stack_.back().has_items) Raw(",");
+    Raw("\n");
+    stack_.back().has_items = true;
+    Indent();
+  }
+}
+
+void JsonWriter::Indent() {
+  for (size_t i = 0; i < stack_.size(); ++i) Raw("  ");
+}
+
+bool WriteFileOrReport(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace mstk

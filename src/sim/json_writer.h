@@ -1,0 +1,70 @@
+// Minimal dependency-free JSON emitter with byte-stable output.
+//
+// The determinism gate in CI compares sweep artifacts with `cmp`, so the
+// writer guarantees: keys appear exactly in the order the caller wrote them,
+// doubles are formatted with a fixed "%.17g" (round-trip exact, same bytes
+// on every libc that implements C99 printf), indentation is fixed at two
+// spaces, and non-finite doubles serialize as null. No third-party dep.
+#ifndef MSTK_SRC_SIM_JSON_WRITER_H_
+#define MSTK_SRC_SIM_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mstk {
+
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Must precede a value (or BeginObject/BeginArray) inside an object.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Double(double value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Bool(bool value);
+  void Null();
+
+  // Key(k) + value, fused.
+  void KV(std::string_view key, std::string_view value) { Key(key); String(value); }
+  void KV(std::string_view key, const char* value) { Key(key); String(value); }
+  void KV(std::string_view key, double value) { Key(key); Double(value); }
+  void KV(std::string_view key, int64_t value) { Key(key); Int(value); }
+  void KV(std::string_view key, uint64_t value) { Key(key); Uint(value); }
+  void KV(std::string_view key, int value) { Key(key); Int(value); }
+  void KV(std::string_view key, bool value) { Key(key); Bool(value); }
+
+  // The finished document (a trailing newline is appended once).
+  std::string TakeString();
+  const std::string& str() const { return out_; }
+
+ private:
+  enum class Scope { kObject, kArray };
+  struct Frame {
+    Scope scope;
+    bool has_items = false;
+  };
+
+  void BeforeValue();
+  void Indent();
+  void Raw(std::string_view text) { out_.append(text); }
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+// Writes `content` to `path` atomically enough for CI use (truncate +
+// write + close). Returns false on any I/O error.
+bool WriteFileOrReport(const std::string& path, const std::string& content);
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_SIM_JSON_WRITER_H_

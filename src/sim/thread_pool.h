@@ -1,0 +1,68 @@
+// Fixed-size worker pool for fanning independent simulations across cores.
+//
+// Deliberately work-stealing-free: one mutex-protected FIFO queue feeds N
+// `std::thread` workers. Simulation trials are seconds-long, so queue
+// contention is irrelevant, and the simple design gives two properties the
+// trial engine depends on:
+//   * tasks are dequeued in submission order (strict FIFO with one worker),
+//   * the destructor drains every queued task before joining, so a pool
+//     going out of scope never drops work.
+// Exceptions thrown by a task are captured in its future and rethrown at
+// `get()`; they never escape a worker thread.
+#ifndef MSTK_SRC_SIM_THREAD_POOL_H_
+#define MSTK_SRC_SIM_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mstk {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers; values < 1 are clamped to 1.
+  explicit ThreadPool(int threads);
+
+  // Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn` and returns a future for its result. The future rethrows
+  // any exception `fn` raised.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // Sensible default worker count for this machine (>= 1).
+  static int DefaultThreadCount();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_SIM_THREAD_POOL_H_

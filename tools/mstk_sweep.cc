@@ -1,0 +1,185 @@
+// mstk_sweep — run a named (workload, scheduler, rate/scale) config matrix
+// as parallel multi-trial experiments and emit one JSON document per sweep.
+//
+//   mstk_sweep smoke --trials 4 --jobs 2 --json BENCH_smoke.json
+//   mstk_sweep sched_random --trials 8 --json BENCH_sched_random.json
+//   mstk_sweep smoke --selfcheck          # determinism gate (CI)
+//   mstk_sweep --list
+//
+// The JSON deliberately records no wall-clock time and no job count, so the
+// same (sweep, seed, trials) invocation is byte-identical at any --jobs
+// value — CI compares a --jobs 1 reference against a parallel run with cmp.
+//
+// Sweeps:
+//   smoke         2 schedulers x 2 rates, 2000 requests  (CI gate, ~seconds)
+//   sched_random  Fig 6 matrix: 4 schedulers x 10 arrival rates
+//   sched_cello   Fig 7(a) matrix: 4 schedulers x 7 trace time scales
+//   sched_tpcc    Fig 7(b) matrix: 4 schedulers x 7 trace time scales
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sim/thread_pool.h"
+
+namespace {
+
+using namespace mstk;
+
+struct SweepCell {
+  std::string name;
+  // Distinct offset per seed group: cells sharing an offset (e.g. every
+  // scheduler at one rate) replay identical request streams.
+  int64_t seed_offset;
+  std::function<ExperimentResult(uint64_t seed)> trial;
+};
+
+constexpr SchedKind kAllScheds[] = {SchedKind::kFcfs, SchedKind::kSstfLbn,
+                                    SchedKind::kClook, SchedKind::kSptf};
+
+std::vector<SweepCell> BuildSweep(const std::string& name) {
+  std::vector<SweepCell> cells;
+  auto add_rate_cells = [&cells](const std::vector<SchedKind>& scheds,
+                                 const std::vector<double>& rates, int64_t count) {
+    for (size_t r = 0; r < rates.size(); ++r) {
+      for (SchedKind sched : scheds) {
+        const double rate = rates[r];
+        cells.push_back({"rate" + Fmt("%.0f", rate) + "/" + SchedKindName(sched),
+                         static_cast<int64_t>(r),
+                         [sched, rate, count](uint64_t seed) {
+                           return RunRandomSchedTrial(sched, rate, count, seed);
+                         }});
+      }
+    }
+  };
+  if (name == "smoke") {
+    add_rate_cells({SchedKind::kFcfs, SchedKind::kSptf}, {600, 1200}, 2000);
+  } else if (name == "sched_random") {
+    add_rate_cells(std::vector<SchedKind>(std::begin(kAllScheds), std::end(kAllScheds)),
+                   {200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000}, 10000);
+  } else if (name == "sched_cello" || name == "sched_tpcc") {
+    const bool cello = name == "sched_cello";
+    const std::vector<double> scales = cello
+                                           ? std::vector<double>{1, 2, 4, 8, 12, 16, 20}
+                                           : std::vector<double>{1, 2, 4, 6, 8, 10, 12};
+    for (const double scale : scales) {
+      for (SchedKind sched : kAllScheds) {
+        cells.push_back({std::string(cello ? "cello" : "tpcc") + "_scale" +
+                             Fmt("%.0f", scale) + "/" + SchedKindName(sched),
+                         0,  // same base trace at every scale, as in the paper
+                         [cello, sched, scale](uint64_t seed) {
+                           return cello ? RunCelloSchedTrial(sched, scale, 20000, seed)
+                                        : RunTpccSchedTrial(sched, scale, 20000, seed);
+                         }});
+      }
+    }
+  }
+  return cells;
+}
+
+std::string RunSweepJson(const std::string& sweep, const std::vector<SweepCell>& cells,
+                         int64_t trials, int jobs, uint64_t base_seed) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("sweep", sweep);
+  json.KV("base_seed", base_seed);
+  json.KV("trials", trials);
+  json.Key("cells");
+  json.BeginArray();
+  for (const SweepCell& cell : cells) {
+    TrialRunner::Options opts;
+    opts.trials = trials;
+    opts.jobs = jobs;
+    opts.base_seed = DeriveTrialSeed(base_seed, cell.seed_offset);
+    const AggregateResult agg = TrialRunner::RunExperiments(
+        opts, [&cell](uint64_t seed, int64_t) { return cell.trial(seed); });
+    json.BeginObject();
+    json.KV("name", cell.name);
+    json.Key("result");
+    agg.AppendJson(json);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [SWEEP] [--trials N] [--jobs N] [--seed S] [--json PATH]\n"
+               "       %s --list\n"
+               "       %s [SWEEP] --selfcheck   (compare --jobs 1 vs parallel run)\n"
+               "sweeps: smoke sched_random sched_cello sched_tpcc\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sweep = "smoke";
+  int64_t trials = 4;
+  int jobs = 0;  // all cores
+  uint64_t base_seed = 1;
+  std::string json_path;
+  bool selfcheck = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(Usage(argv[0]));
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--list") == 0) {
+      std::printf("smoke\nsched_random\nsched_cello\nsched_tpcc\n");
+      return 0;
+    } else if (std::strcmp(arg, "--trials") == 0) {
+      trials = std::atoll(next());
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      jobs = std::atoi(next());
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      base_seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json_path = next();
+    } else if (std::strcmp(arg, "--selfcheck") == 0) {
+      selfcheck = true;
+    } else if (arg[0] != '-') {
+      sweep = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (trials < 1) trials = 1;
+
+  const std::vector<SweepCell> cells = BuildSweep(sweep);
+  if (cells.empty()) {
+    std::fprintf(stderr, "unknown sweep: %s\n", sweep.c_str());
+    return Usage(argv[0]);
+  }
+
+  if (selfcheck) {
+    const int parallel = jobs > 0 ? jobs : ThreadPool::DefaultThreadCount();
+    const std::string serial = RunSweepJson(sweep, cells, trials, 1, base_seed);
+    const std::string fanned = RunSweepJson(sweep, cells, trials, parallel, base_seed);
+    if (serial != fanned) {
+      std::fprintf(stderr, "DETERMINISM FAILURE: sweep %s differs between --jobs 1 and --jobs %d\n",
+                   sweep.c_str(), parallel);
+      return 1;
+    }
+    std::printf("determinism ok: sweep %s, %lld trials, --jobs 1 == --jobs %d (%zu bytes)\n",
+                sweep.c_str(), static_cast<long long>(trials), parallel, serial.size());
+    return 0;
+  }
+
+  const std::string doc = RunSweepJson(sweep, cells, trials, jobs, base_seed);
+  if (json_path.empty()) {
+    std::fputs(doc.c_str(), stdout);
+    return 0;
+  }
+  return WriteFileOrReport(json_path, doc) ? 0 : 1;
+}
