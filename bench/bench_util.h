@@ -9,6 +9,10 @@
 //   --jobs N       worker threads for the trial fan-out (0 = all cores)
 //   --json PATH    write a JSON document of every cell's aggregate
 //   --seed S       base seed for the per-trial seed derivation
+//   --trace PATH   write a Chrome trace-event JSON of trial 0 of each cell
+//                  (one track per cell; per-request phase slices). The trace
+//                  comes from a separate serial re-run, so measured results
+//                  are byte-identical with and without it.
 #ifndef MSTK_BENCH_BENCH_UTIL_H_
 #define MSTK_BENCH_BENCH_UTIL_H_
 
@@ -43,6 +47,7 @@ struct BenchOptions {
   int jobs = 0;  // 0 = one worker per hardware core
   uint64_t seed = 1;
   std::string json_path;
+  std::string trace_path;
 
   static BenchOptions Parse(int argc, char** argv) {
     BenchOptions opts;
@@ -67,10 +72,12 @@ struct BenchOptions {
         opts.seed = std::strtoull(next(), nullptr, 10);
       } else if (std::strcmp(arg, "--json") == 0) {
         opts.json_path = next();
+      } else if (std::strcmp(arg, "--trace") == 0) {
+        opts.trace_path = next();
       } else {
         std::fprintf(stderr,
                      "usage: %s [--csv] [--fast] [--trials N] [--jobs N] "
-                     "[--seed S] [--json PATH]\n",
+                     "[--seed S] [--json PATH] [--trace PATH]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -204,32 +211,33 @@ inline const char* SchedKindName(SchedKind kind) {
 }
 
 inline ExperimentResult RunWithScheduler(StorageDevice* device, SchedKind kind,
-                                         const std::vector<Request>& requests) {
+                                         const std::vector<Request>& requests,
+                                         TraceTrack trace = {}) {
   switch (kind) {
     case SchedKind::kFcfs: {
       FcfsScheduler sched;
-      return RunOpenLoop(device, &sched, requests);
+      return RunOpenLoop(device, &sched, requests, trace);
     }
     case SchedKind::kSstfLbn: {
       SstfLbnScheduler sched;
-      return RunOpenLoop(device, &sched, requests);
+      return RunOpenLoop(device, &sched, requests, trace);
     }
     case SchedKind::kClook: {
       ClookScheduler sched;
-      return RunOpenLoop(device, &sched, requests);
+      return RunOpenLoop(device, &sched, requests, trace);
     }
     case SchedKind::kSptf: {
       SptfScheduler sched(device);
-      return RunOpenLoop(device, &sched, requests);
+      return RunOpenLoop(device, &sched, requests, trace);
     }
   }
   FcfsScheduler sched;
-  return RunOpenLoop(device, &sched, requests);
+  return RunOpenLoop(device, &sched, requests, trace);
 }
 
 // One Fig 6 cell trial: random workload at `rate` on a fresh MEMS device.
 inline ExperimentResult RunRandomSchedTrial(SchedKind kind, double rate, int64_t count,
-                                            uint64_t seed) {
+                                            uint64_t seed, TraceTrack trace = {}) {
   MemsDevice device;
   RandomWorkloadConfig config;
   config.arrival_rate_per_s = rate;
@@ -237,12 +245,12 @@ inline ExperimentResult RunRandomSchedTrial(SchedKind kind, double rate, int64_t
   config.capacity_blocks = device.CapacityBlocks();
   Rng rng(seed);
   const auto requests = GenerateRandomWorkload(config, rng);
-  return RunWithScheduler(&device, kind, requests);
+  return RunWithScheduler(&device, kind, requests, trace);
 }
 
 // One Fig 7(a) cell trial: cello-like trace at time-scale `scale`.
 inline ExperimentResult RunCelloSchedTrial(SchedKind kind, double scale, int64_t count,
-                                           uint64_t seed) {
+                                           uint64_t seed, TraceTrack trace = {}) {
   MemsDevice device;
   CelloLikeConfig config;
   config.request_count = count;
@@ -250,12 +258,12 @@ inline ExperimentResult RunCelloSchedTrial(SchedKind kind, double scale, int64_t
   config.scale = scale;
   Rng rng(seed);
   const auto requests = GenerateCelloLike(config, rng);
-  return RunWithScheduler(&device, kind, requests);
+  return RunWithScheduler(&device, kind, requests, trace);
 }
 
 // One Fig 7(b) cell trial: tpcc-like trace at time-scale `scale`.
 inline ExperimentResult RunTpccSchedTrial(SchedKind kind, double scale, int64_t count,
-                                          uint64_t seed) {
+                                          uint64_t seed, TraceTrack trace = {}) {
   MemsDevice device;
   TpccLikeConfig config;
   config.request_count = count;
@@ -263,7 +271,7 @@ inline ExperimentResult RunTpccSchedTrial(SchedKind kind, double scale, int64_t 
   config.scale = scale;
   Rng rng(seed);
   const auto requests = GenerateTpccLike(config, rng);
-  return RunWithScheduler(&device, kind, requests);
+  return RunWithScheduler(&device, kind, requests, trace);
 }
 
 }  // namespace mstk

@@ -77,5 +77,21 @@ int main(int argc, char** argv) {
                FmtCi("%.3f", agg.Get("mean_service_ms"))});
     json.AddCell("sptf_detail_rate" + Fmt("%.0f", rate), agg);
   }
+
+  // --trace: re-run trial 0 of each (rate, scheduler) cell serially with a
+  // recording track attached — the measured results above are untouched.
+  if (!opts.trace_path.empty()) {
+    TraceWriter trace;
+    for (size_t r = 0; r < rates.size(); ++r) {
+      const uint64_t row_seed =
+          DeriveTrialSeed(DeriveTrialSeed(opts.seed, 2000 + static_cast<int64_t>(r)), 0);
+      for (SchedKind sched : scheds) {
+        const int tid = trace.AddTrack("rate" + Fmt("%.0f", rates[r]) + "/" +
+                                       SchedKindName(sched));
+        RunRandomSchedTrial(sched, rates[r], count, row_seed, TraceTrack(&trace, tid));
+      }
+    }
+    if (!trace.WriteFile(opts.trace_path)) return 1;
+  }
   return json.WriteIfRequested() ? 0 : 1;
 }

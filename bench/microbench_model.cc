@@ -3,6 +3,8 @@
 // dispatch), device service computation, and scheduler dispatch.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "src/disk/disk_device.h"
 #include "src/mems/mems_device.h"
 #include "src/sched/sptf.h"
@@ -92,6 +94,54 @@ void BM_SptfPopQueue(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SptfPopQueue)->Arg(16)->Arg(64)->Arg(256);
+
+// Batched positioning estimation (the SPTF scan path): shares the
+// per-cylinder X-seek computation across the batch, vs. the scalar loop
+// that derives it from scratch (twice) per request.
+void BM_MemsEstimatePositioningBatch(benchmark::State& state) {
+  MemsDevice device;
+  Rng rng(7);
+  const int64_t n = state.range(0);
+  std::vector<Request> reqs(static_cast<size_t>(n));
+  for (auto& req : reqs) {
+    req.block_count = 8;
+    req.lbn = rng.UniformInt(device.CapacityBlocks() - 8);
+  }
+  std::vector<double> out(static_cast<size_t>(n));
+  for (auto _ : state) {
+    device.EstimatePositioningBatch(reqs.data(), n, 0.0, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MemsEstimatePositioningBatch)->Arg(64)->Arg(256);
+
+// Draining a full queue against a stationary device: with epoch-keyed
+// caching every Pop after the first re-scans cached costs instead of
+// re-estimating all pending requests (the lazy re-scan was O(n * cost)
+// per dispatch).
+void BM_SptfDrainStationary(benchmark::State& state) {
+  MemsDevice device;
+  const int64_t depth = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(8);
+    SptfScheduler sched(&device);
+    for (int64_t i = 0; i < depth; ++i) {
+      Request req;
+      req.id = i;
+      req.block_count = 8;
+      req.lbn = rng.UniformInt(device.CapacityBlocks() - 8);
+      sched.Add(req);
+    }
+    state.ResumeTiming();
+    while (!sched.Empty()) {
+      benchmark::DoNotOptimize(sched.Pop(0.0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_SptfDrainStationary)->Arg(64)->Arg(256);
 
 }  // namespace
 

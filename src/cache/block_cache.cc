@@ -151,7 +151,7 @@ double BlockCache::ServiceRequest(const Request& req, TimeMs start_ms,
   }
 
   if (breakdown != nullptr) {
-    *breakdown = ServiceBreakdown{0.0, cost_ms, 0.0};
+    *breakdown = ServiceBreakdown{0.0, cost_ms, 0.0, {}};
   }
   activity_.busy_ms += cost_ms;
   activity_.requests += 1;

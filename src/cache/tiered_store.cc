@@ -159,7 +159,7 @@ double TieredStore::ServiceRequest(const Request& req, TimeMs start_ms,
   }
 
   if (breakdown != nullptr) {
-    *breakdown = ServiceBreakdown{0.0, cost, 0.0};
+    *breakdown = ServiceBreakdown{0.0, cost, 0.0, {}};
   }
   activity_.busy_ms += cost;
   activity_.requests += 1;

@@ -39,23 +39,33 @@ class BusDevice : public StorageDevice {
                         ServiceBreakdown* breakdown = nullptr) override {
     ServiceBreakdown inner_bd;
     const double mech_ms = inner_->ServiceRequest(req, start_ms, &inner_bd);
+    inner_bd.EnsurePhases();
     const double bus_ms =
         static_cast<double>(req.bytes()) / (params_.bandwidth_mb_s * 1e3);
     double total;
+    double bus_transfer_ms;  // bus time not hidden behind the media transfer
     if (params_.speed_matching_buffer) {
       // The buffer overlaps the two transfers: the slower one paces the
       // request, the positioning and protocol overheads do not overlap.
       const double media_ms = inner_bd.transfer_ms + inner_bd.extra_ms;
       total = params_.command_overhead_ms + inner_bd.positioning_ms +
               std::max(media_ms, bus_ms);
+      bus_transfer_ms = std::max(0.0, bus_ms - media_ms);
     } else {
       total = params_.command_overhead_ms + mech_ms + bus_ms;
+      bus_transfer_ms = bus_ms;
     }
     if (breakdown != nullptr) {
       *breakdown = ServiceBreakdown{inner_bd.positioning_ms,
                                     total - inner_bd.positioning_ms -
                                         params_.command_overhead_ms,
-                                    params_.command_overhead_ms};
+                                    params_.command_overhead_ms,
+                                    {}};
+      // Mechanical phases pass through; the protocol overhead and any bus
+      // time extending past the media transfer stack on top.
+      breakdown->phases = inner_bd.phases;
+      breakdown->phases[Phase::kOverhead] += params_.command_overhead_ms;
+      breakdown->phases[Phase::kTransfer] += bus_transfer_ms;
     }
     activity_.busy_ms += total;
     activity_.requests += 1;
@@ -69,6 +79,20 @@ class BusDevice : public StorageDevice {
 
   double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override {
     return params_.command_overhead_ms + inner_->EstimatePositioningMs(req, at_ms);
+  }
+
+  void EstimatePositioningBatch(const Request* reqs, int64_t count, TimeMs at_ms,
+                                double* out_ms) const override {
+    inner_->EstimatePositioningBatch(reqs, count, at_ms, out_ms);
+    for (int64_t i = 0; i < count; ++i) {
+      out_ms[i] += params_.command_overhead_ms;
+    }
+  }
+
+  // Scheduling-relevant state lives in the wrapped device.
+  uint64_t StateEpoch() const override { return inner_->StateEpoch(); }
+  bool PositioningIsTimeFree() const override {
+    return inner_->PositioningIsTimeFree();
   }
 
   void Reset() override {

@@ -1,8 +1,34 @@
 #include "src/core/driver.h"
 
+#include <string>
 #include <utility>
 
 namespace mstk {
+
+namespace {
+
+// Trace-viewer reserved color per phase (cname values Perfetto and
+// chrome://tracing both understand).
+const char* PhaseColor(Phase p) {
+  switch (p) {
+    case Phase::kQueue: return "grey";
+    case Phase::kSeekX: return "thread_state_runnable";
+    case Phase::kSeekY: return "thread_state_running";
+    case Phase::kSettle: return "bad";
+    case Phase::kTurnaround: return "terrible";
+    case Phase::kTransfer: return "good";
+    case Phase::kOverhead: return "black";
+  }
+  return "grey";
+}
+
+// Service phases in the order their slices are laid out under the request
+// slice: dispatch penalty/overheads first, then positioning, then transfer.
+constexpr Phase kSlicePhaseOrder[] = {Phase::kOverhead,    Phase::kSeekX,
+                                      Phase::kSettle,      Phase::kSeekY,
+                                      Phase::kTurnaround,  Phase::kTransfer};
+
+}  // namespace
 
 Driver::Driver(Simulator* sim, StorageDevice* device, IoScheduler* scheduler,
                MetricsCollector* metrics)
@@ -11,7 +37,29 @@ Driver::Driver(Simulator* sim, StorageDevice* device, IoScheduler* scheduler,
 void Driver::Submit(const Request& req) {
   metrics_->RecordArrival(req, sim_->NowMs());
   scheduler_->Add(req);
+  trace_.Counter("queue_depth", sim_->NowMs(),
+                 static_cast<double>(scheduler_->size()));
   TryDispatch();
+}
+
+void Driver::EmitRequestTrace(const Request& req, TimeMs dispatch_ms,
+                              double service_ms,
+                              const PhaseBreakdown& phases) const {
+  // Parent slice spans [dispatch, completion]; phase slices tile it in
+  // canonical order (their durations sum to the service time) and nest
+  // under it in the viewer.
+  trace_.Slice("r" + std::to_string(req.id), dispatch_ms, service_ms, {},
+               {{"lbn", static_cast<double>(req.lbn)},
+                {"blocks", static_cast<double>(req.block_count)},
+                {"queue_ms", phases[Phase::kQueue]}});
+  TimeMs cursor = dispatch_ms;
+  for (const Phase p : kSlicePhaseOrder) {
+    const double dur = phases[p];
+    if (dur > 0.0) {
+      trace_.Slice(PhaseName(p), cursor, dur, PhaseColor(p));
+      cursor += dur;
+    }
+  }
 }
 
 void Driver::TryDispatch() {
@@ -25,14 +73,22 @@ void Driver::TryDispatch() {
   const TimeMs now = sim_->NowMs();
   const Request req = scheduler_->Pop(now);
   metrics_->RecordDispatch(req, now, depth);
+  trace_.Counter("queue_depth", now, static_cast<double>(scheduler_->size()));
 
   const double penalty = pending_penalty_ms_;
   pending_penalty_ms_ = 0.0;
-  const double service_ms = penalty + device_->ServiceRequest(req, now + penalty);
+  ServiceBreakdown bd;
+  const double service_ms = penalty + device_->ServiceRequest(req, now + penalty, &bd);
+  bd.EnsurePhases();
+  bd.phases[Phase::kQueue] = now - req.arrival_ms;
+  bd.phases[Phase::kOverhead] += penalty;
   busy_ = true;
-  sim_->ScheduleAfter(service_ms, [this, req, service_ms] {
+  sim_->ScheduleAfter(service_ms, [this, req, service_ms, now, phases = bd.phases] {
     busy_ = false;
-    metrics_->RecordCompletion(req, sim_->NowMs(), service_ms);
+    metrics_->RecordCompletion(req, sim_->NowMs(), service_ms, phases);
+    if (trace_.enabled()) {
+      EmitRequestTrace(req, now, service_ms, phases);
+    }
     for (const auto& listener : on_complete_) {
       listener(req, sim_->NowMs());
     }

@@ -15,6 +15,7 @@
 #include "src/core/request.h"
 #include "src/core/storage_device.h"
 #include "src/sim/simulator.h"
+#include "src/sim/trace_writer.h"
 
 namespace mstk {
 
@@ -56,8 +57,16 @@ class Driver {
   // policies to model restart-from-idle penalties. Consumed by one dispatch.
   void AddDispatchPenalty(double penalty_ms) { pending_penalty_ms_ += penalty_ms; }
 
+  // Attaches a trace track; every completed request then emits a slice with
+  // nested per-phase child slices, plus queue-depth counter samples. A
+  // default-constructed (disabled) track is free: tracing never changes
+  // simulated timings or metrics, only records them.
+  void set_trace(TraceTrack trace) { trace_ = trace; }
+
  private:
   void TryDispatch();
+  void EmitRequestTrace(const Request& req, TimeMs dispatch_ms, double service_ms,
+                        const PhaseBreakdown& phases) const;
 
   Simulator* sim_;
   StorageDevice* device_;
@@ -68,6 +77,7 @@ class Driver {
   std::vector<std::function<void(TimeMs)>> on_active_;
   bool busy_ = false;
   double pending_penalty_ms_ = 0.0;
+  TraceTrack trace_;
 };
 
 }  // namespace mstk

@@ -6,13 +6,15 @@
 namespace mstk {
 
 ExperimentResult RunOpenLoop(StorageDevice* device, IoScheduler* scheduler,
-                             const std::vector<Request>& requests) {
+                             const std::vector<Request>& requests,
+                             TraceTrack trace) {
   device->Reset();
   scheduler->Reset();
 
   Simulator sim;
   ExperimentResult result;
   Driver driver(&sim, device, scheduler, &result.metrics);
+  driver.set_trace(trace);
   for (const Request& req : requests) {
     sim.ScheduleAt(req.arrival_ms, [&driver, req] { driver.Submit(req); });
   }

@@ -10,6 +10,7 @@
 #include "src/core/metrics.h"
 #include "src/core/request.h"
 #include "src/core/storage_device.h"
+#include "src/sim/trace_writer.h"
 
 namespace mstk {
 
@@ -25,9 +26,12 @@ struct ExperimentResult {
 };
 
 // Runs the open-loop experiment: every request is submitted at its
-// arrival_ms. The device and scheduler are Reset() first.
+// arrival_ms. The device and scheduler are Reset() first. Passing an enabled
+// `trace` records per-request phase slices on it; results are identical
+// either way.
 ExperimentResult RunOpenLoop(StorageDevice* device, IoScheduler* scheduler,
-                             const std::vector<Request>& requests);
+                             const std::vector<Request>& requests,
+                             TraceTrack trace = {});
 
 }  // namespace mstk
 

@@ -1,5 +1,7 @@
 #include "src/core/metrics.h"
 
+#include <string>
+
 namespace mstk {
 
 void MetricsCollector::RecordArrival(const Request& req, TimeMs now_ms) {
@@ -18,6 +20,26 @@ void MetricsCollector::RecordCompletion(const Request& req, TimeMs now_ms, doubl
   response_samples_.Add(response_ms);
   service_time_.Add(service_ms);
   last_completion_ms_ = now_ms;
+}
+
+void MetricsCollector::RecordCompletion(const Request& req, TimeMs now_ms, double service_ms,
+                                        const PhaseBreakdown& phases) {
+  RecordCompletion(req, now_ms, service_ms);
+  for (int i = 0; i < kPhaseCount; ++i) {
+    phase_stats_[i].Add(phases.phase_ms[i]);
+  }
+}
+
+void MetricsCollector::ExportTo(MetricsRegistry* registry) const {
+  registry->Count("requests_completed", completed());
+  registry->Summary("response_ms").Merge(response_time_);
+  registry->Summary("service_ms").Merge(service_time_);
+  registry->Summary("queue_ms").Merge(queue_time_);
+  registry->Summary("queue_depth").Merge(queue_depth_);
+  for (int i = 0; i < kPhaseCount; ++i) {
+    registry->Summary(std::string("phase_") + PhaseName(static_cast<Phase>(i)) + "_ms")
+        .Merge(phase_stats_[i]);
+  }
 }
 
 }  // namespace mstk

@@ -5,6 +5,8 @@
 #include <cstdint>
 
 #include "src/core/request.h"
+#include "src/core/storage_device.h"
+#include "src/sim/metrics_registry.h"
 #include "src/sim/stats.h"
 #include "src/sim/units.h"
 
@@ -16,6 +18,11 @@ class MetricsCollector {
   void RecordArrival(const Request& req, TimeMs now_ms);
   void RecordDispatch(const Request& req, TimeMs now_ms, int64_t queue_depth);
   void RecordCompletion(const Request& req, TimeMs now_ms, double service_ms);
+  // As above, also folding the request's per-phase timings into the phase
+  // summaries. The driver always uses this form; the three-argument overload
+  // (no phase information available) leaves the phase summaries untouched.
+  void RecordCompletion(const Request& req, TimeMs now_ms, double service_ms,
+                        const PhaseBreakdown& phases);
 
   // Response time = queue time + service time (the Fig 5a/6a metric).
   const SummaryStats& response_time() const { return response_time_; }
@@ -25,6 +32,10 @@ class MetricsCollector {
   const SummaryStats& queue_time() const { return queue_time_; }
   // Queue depth observed at each dispatch.
   const SummaryStats& queue_depth() const { return queue_depth_; }
+  // Per-phase time across completed requests (ms per request).
+  const SummaryStats& phase(Phase p) const {
+    return phase_stats_[static_cast<int>(p)];
+  }
 
   // sigma^2/mu^2 of response time (the Fig 5b/6b starvation metric).
   double ResponseScv() const { return response_time_.SquaredCoefficientOfVariation(); }
@@ -35,11 +46,17 @@ class MetricsCollector {
   int64_t completed() const { return response_time_.count(); }
   TimeMs last_completion_ms() const { return last_completion_ms_; }
 
+  // Merges this run's metrics into a registry under stable names
+  // ("response_ms", "phase_seek_x_ms", ...), so multi-trial harnesses can
+  // aggregate with MetricsRegistry::Merge.
+  void ExportTo(MetricsRegistry* registry) const;
+
  private:
   SummaryStats response_time_;
   SummaryStats service_time_;
   SummaryStats queue_time_;
   SummaryStats queue_depth_;
+  SummaryStats phase_stats_[kPhaseCount];
   SampleSet response_samples_;
   TimeMs last_completion_ms_ = 0.0;
 };

@@ -13,13 +13,73 @@
 
 namespace mstk {
 
+// Phases of one request's lifecycle — the decomposition every figure in
+// §4–§7 uses. Device models fill the mechanical phases; the driver adds the
+// queue wait and any dispatch penalty (restart-from-standby, §7).
+enum class Phase : int {
+  kQueue = 0,   // arrival -> dispatch wait (driver-side)
+  kSeekX,       // X seek (disk: cylinder seek incl. head-switch overlap)
+  kSeekY,       // Y seek (disk: initial rotational latency)
+  kSettle,      // post-X-motion settling time
+  kTurnaround,  // mid-transfer reversals / track & cylinder switches
+  kTransfer,    // media transfer
+  kOverhead,    // seek-error retries, restart penalties, command/ECC cost
+};
+inline constexpr int kPhaseCount = 7;
+
+inline const char* PhaseName(Phase p) {
+  switch (p) {
+    case Phase::kQueue: return "queue";
+    case Phase::kSeekX: return "seek_x";
+    case Phase::kSeekY: return "seek_y";
+    case Phase::kSettle: return "settle";
+    case Phase::kTurnaround: return "turnaround";
+    case Phase::kTransfer: return "transfer";
+    case Phase::kOverhead: return "overhead";
+  }
+  return "?";
+}
+
+// Per-request phase timings (all ms). The service-time phases tile the
+// interval [dispatch, completion]: their sum equals the recorded service
+// time (up to floating-point rounding of the per-phase unit conversions).
+struct PhaseBreakdown {
+  double phase_ms[kPhaseCount] = {};
+
+  double& operator[](Phase p) { return phase_ms[static_cast<int>(p)]; }
+  double operator[](Phase p) const { return phase_ms[static_cast<int>(p)]; }
+
+  // Sum of the service phases (everything except the queue wait).
+  double service_ms() const {
+    double sum = 0.0;
+    for (int i = 1; i < kPhaseCount; ++i) {
+      sum += phase_ms[i];
+    }
+    return sum;
+  }
+};
+
 // Per-request service time decomposition (all in ms).
 struct ServiceBreakdown {
   double positioning_ms = 0.0;  // initial seek (+ settle, + rotational latency)
   double transfer_ms = 0.0;     // media transfer
   double extra_ms = 0.0;        // mid-transfer turnarounds / head & track switches
 
+  // Finer per-phase split; primary device models fill it alongside the
+  // coarse fields above.
+  PhaseBreakdown phases;
+
   double total_ms() const { return positioning_ms + transfer_ms + extra_ms; }
+
+  // Derives `phases` from the coarse fields when a device model did not
+  // provide the finer split (composite devices: RAID, caches).
+  void EnsurePhases() {
+    if (phases.service_ms() == 0.0 && total_ms() > 0.0) {
+      phases[Phase::kSeekX] = positioning_ms;
+      phases[Phase::kTransfer] = transfer_ms;
+      phases[Phase::kTurnaround] = extra_ms;
+    }
+  }
 };
 
 // Cumulative activity counters, for the power/energy accounting in §7.
@@ -52,6 +112,26 @@ class StorageDevice {
   // Const: must not change device state.
   virtual double EstimatePositioningMs(const Request& req, TimeMs at_ms) const = 0;
 
+  // Batched form of EstimatePositioningMs with identical semantics and
+  // results; device models may share per-state work across the batch (the
+  // SPTF per-dispatch scan evaluates every pending request at once).
+  virtual void EstimatePositioningBatch(const Request* reqs, int64_t count,
+                                        TimeMs at_ms, double* out_ms) const {
+    for (int64_t i = 0; i < count; ++i) {
+      out_ms[i] = EstimatePositioningMs(reqs[i], at_ms);
+    }
+  }
+
+  // Monotone counter bumped whenever the mechanical state changes. When
+  // PositioningIsTimeFree() holds, positioning estimates stay valid for as
+  // long as the epoch is unchanged, so schedulers may cache them.
+  virtual uint64_t StateEpoch() const { return state_epoch_; }
+
+  // True when EstimatePositioningMs ignores `at_ms` — the MEMS model has no
+  // rotation, so estimates depend only on the sled state. Time-dependent
+  // models (disks) must leave this false.
+  virtual bool PositioningIsTimeFree() const { return false; }
+
   // Restores initial mechanical state and clears activity counters.
   virtual void Reset() = 0;
 
@@ -59,6 +139,7 @@ class StorageDevice {
 
  protected:
   DeviceActivity activity_;
+  uint64_t state_epoch_ = 0;
 };
 
 }  // namespace mstk

@@ -31,7 +31,7 @@ double StudentT95(int64_t df) {
 }
 
 TrialMetrics MetricsFromExperiment(const ExperimentResult& result) {
-  return {
+  TrialMetrics metrics = {
       {"mean_response_ms", result.MeanResponseMs()},
       {"mean_service_ms", result.MeanServiceMs()},
       {"response_scv", result.ResponseScv()},
@@ -39,6 +39,14 @@ TrialMetrics MetricsFromExperiment(const ExperimentResult& result) {
       {"makespan_ms", result.makespan_ms},
       {"completed", static_cast<double>(result.metrics.completed())},
   };
+  // Per-phase means of the service decomposition (queue first, then the
+  // mechanical phases; their means sum to ~mean_service_ms).
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    metrics.emplace_back(std::string("mean_") + PhaseName(p) + "_ms",
+                         result.metrics.phase(p).mean());
+  }
+  return metrics;
 }
 
 AggregateMetric AggregateMetric::FromSamples(std::string name,

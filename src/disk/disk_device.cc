@@ -37,6 +37,7 @@ void DiskDevice::Reset() {
   head_ = 0;
   activity_ = DeviceActivity{};
   seek_error_rng_ = Rng(seek_error_seed_);
+  ++state_epoch_;
 }
 
 void DiskDevice::EnableSeekErrors(double rate, uint64_t seed) {
@@ -67,6 +68,11 @@ double DiskDevice::ServiceRequest(const Request& req, TimeMs start_ms,
              "request outside device capacity");
   double t = start_ms;
 
+  // Phase attribution: the seek curve already folds arm settle into seek_x,
+  // rotational waits go to seek_y (initial) / turnaround (mid-transfer), and
+  // retry penalties to overhead.
+  PhaseBreakdown phases;
+
   DiskAddress addr = geometry_.Decode(req.lbn);
   // Initial mechanical positioning.
   const int64_t distance = std::abs(static_cast<int64_t>(addr.cylinder) - cylinder_);
@@ -75,16 +81,19 @@ double DiskDevice::ServiceRequest(const Request& req, TimeMs start_ms,
     mech = std::max(mech, geometry_.params().head_switch_ms);
   }
   t += mech;
+  phases[Phase::kSeekX] = mech;
   // Seek-error retry (§6.1.3): wrong-track settle costs a short re-seek and
   // loses the rotational alignment.
   if (seek_error_rate_ > 0.0 && seek_error_rng_.Bernoulli(seek_error_rate_)) {
     t += 1.5;  // short re-seek + re-settle
     mech += 1.5;
+    phases[Phase::kOverhead] += 1.5;
   }
   // Initial rotational latency.
   const double first_wait =
       RotationalWait(geometry_.SectorPhase(addr), PhaseAt(t), rev_ms_);
   t += first_wait;
+  phases[Phase::kSeekY] = first_wait;
   const double positioning_ms = mech + first_wait;
 
   double transfer_ms = 0.0;
@@ -117,9 +126,13 @@ double DiskDevice::ServiceRequest(const Request& req, TimeMs start_ms,
 
   cylinder_ = addr.cylinder;
   head_ = addr.head;
+  ++state_epoch_;
 
   if (breakdown != nullptr) {
-    *breakdown = ServiceBreakdown{positioning_ms, transfer_ms, extra_ms};
+    *breakdown = ServiceBreakdown{positioning_ms, transfer_ms, extra_ms, {}};
+    phases[Phase::kTransfer] = transfer_ms;
+    phases[Phase::kTurnaround] = extra_ms;
+    breakdown->phases = phases;
   }
   const double total_ms = t - start_ms;
   activity_.busy_ms += total_ms;

@@ -21,6 +21,7 @@ void MemsDevice::Reset() {
   sled_ = SledState{0.0, 0.0, 0.0};
   activity_ = DeviceActivity{};
   seek_error_rng_ = Rng(seek_error_seed_);
+  ++state_epoch_;  // only ever advances, so stale cached estimates die
 }
 
 void MemsDevice::EnableSeekErrors(double rate, uint64_t seed) {
@@ -94,22 +95,50 @@ double MemsDevice::ServiceRequest(const Request& req, TimeMs start_ms,
   const std::vector<Segment> segments = SplitIntoSegments(req.lbn, req.block_count);
   assert(!segments.empty());
 
-  // Initial positioning: pick the cheaper read direction for the first segment.
-  const double pos_up = PositioningSeconds(sled_, segments[0], +1);
-  const double pos_down = PositioningSeconds(sled_, segments[0], -1);
+  // Phase attribution (seconds). Overlapped X/Y intervals are charged to the
+  // dominant component: positioning = max(Tx, Ty) goes to seek_x + settle
+  // when the X leg dominates, else to seek_y (initial) / turnaround
+  // (mid-transfer). The attributed times therefore tile the service time.
+  double phase_s[kPhaseCount] = {};
+  const double settle_s = geometry_.params().settle_seconds();
+
+  // Initial positioning: pick the cheaper read direction for the first
+  // segment. Same expressions as PositioningSeconds, decomposed so the X
+  // seek is attributable separately from the settle.
+  const double target_x0 = geometry_.CylinderX(segments[0].cylinder);
+  double x_seek0_s = 0.0;
+  double tx0 = 0.0;
+  if (target_x0 != sled_.x) {
+    x_seek0_s = kinematics_.SeekSeconds(sled_.x, target_x0);
+    tx0 = x_seek0_s + settle_s;
+  }
+  const double ty0_up =
+      kinematics_.TravelSeconds(sled_.y, sled_.vy, EntryY(segments[0], +1), +v_access_);
+  const double ty0_down =
+      kinematics_.TravelSeconds(sled_.y, sled_.vy, EntryY(segments[0], -1), -v_access_);
+  const double pos_up = std::max(tx0, ty0_up);
+  const double pos_down = std::max(tx0, ty0_down);
   int dir = pos_up <= pos_down ? +1 : -1;
   double positioning_s = std::min(pos_up, pos_down);
+  if (tx0 >= (dir > 0 ? ty0_up : ty0_down)) {
+    phase_s[static_cast<int>(Phase::kSeekX)] += x_seek0_s;
+    phase_s[static_cast<int>(Phase::kSettle)] += tx0 > 0.0 ? settle_s : 0.0;
+  } else {
+    phase_s[static_cast<int>(Phase::kSeekY)] += dir > 0 ? ty0_up : ty0_down;
+  }
 
   // Seek-error retry (§6.1.3): the servo check fails and the sled backs up
   // over the sector — up to two turnarounds plus an X re-settle.
   if (seek_error_rate_ > 0.0 && seek_error_rng_.Bernoulli(seek_error_rate_)) {
     const double entry_y = EntryY(segments[0], dir);
-    positioning_s += 2.0 * kinematics_.TurnaroundSeconds(entry_y, dir * v_access_) +
-                     geometry_.params().settle_seconds();
+    const double retry_s =
+        2.0 * kinematics_.TurnaroundSeconds(entry_y, dir * v_access_) + settle_s;
+    positioning_s += retry_s;
+    phase_s[static_cast<int>(Phase::kOverhead)] += retry_s;
   }
 
   SledState state;
-  state.x = geometry_.CylinderX(segments[0].cylinder);
+  state.x = target_x0;
   state.y = ExitY(segments[0], dir);
   state.vy = dir * v_access_;
 
@@ -120,10 +149,12 @@ double MemsDevice::ServiceRequest(const Request& req, TimeMs start_ms,
   for (size_t i = 1; i < segments.size(); ++i) {
     const Segment& seg = segments[i];
     // X step (zero within a cylinder) overlaps the Y reposition.
+    double x_seek_s = 0.0;
     double tx = 0.0;
     const double target_x = geometry_.CylinderX(seg.cylinder);
     if (target_x != state.x) {
-      tx = kinematics_.SeekSeconds(state.x, target_x) + geometry_.params().settle_seconds();
+      x_seek_s = kinematics_.SeekSeconds(state.x, target_x);
+      tx = x_seek_s + settle_s;
     }
     // Greedy direction choice; for full-track segments this degenerates to
     // the serpentine turnaround.
@@ -132,21 +163,33 @@ double MemsDevice::ServiceRequest(const Request& req, TimeMs start_ms,
     const double ty_down =
         kinematics_.TravelSeconds(state.y, state.vy, EntryY(seg, -1), -v_access_);
     dir = ty_up <= ty_down ? +1 : -1;
-    extra_s += std::max(tx, std::min(ty_up, ty_down));
+    const double ty = std::min(ty_up, ty_down);
+    extra_s += std::max(tx, ty);
+    if (tx >= ty) {
+      phase_s[static_cast<int>(Phase::kSeekX)] += x_seek_s;
+      phase_s[static_cast<int>(Phase::kSettle)] += tx > 0.0 ? settle_s : 0.0;
+    } else {
+      phase_s[static_cast<int>(Phase::kTurnaround)] += ty;
+    }
 
     state.x = target_x;
     state.y = ExitY(seg, dir);
     state.vy = dir * v_access_;
     transfer_s += (seg.row_last - seg.row_first + 1) * row_pass_s_;
   }
+  phase_s[static_cast<int>(Phase::kTransfer)] = transfer_s;
 
   sled_ = state;
+  ++state_epoch_;
 
   const double positioning_ms = SecondsToMs(positioning_s);
   const double transfer_ms = SecondsToMs(transfer_s);
   const double extra_ms = SecondsToMs(extra_s);
   if (breakdown != nullptr) {
-    *breakdown = ServiceBreakdown{positioning_ms, transfer_ms, extra_ms};
+    *breakdown = ServiceBreakdown{positioning_ms, transfer_ms, extra_ms, {}};
+    for (int i = 0; i < kPhaseCount; ++i) {
+      breakdown->phases.phase_ms[i] = SecondsToMs(phase_s[i]);
+    }
   }
 
   const double total_ms = positioning_ms + transfer_ms + extra_ms;
@@ -162,8 +205,7 @@ double MemsDevice::ServiceRequest(const Request& req, TimeMs start_ms,
   return total_ms;
 }
 
-double MemsDevice::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
-  (void)at_ms;
+MemsDevice::Segment MemsDevice::FirstSegment(const Request& req) const {
   const MemsAddress addr = geometry_.Decode(req.lbn);
   // Only the first segment matters for the positioning estimate.
   const int64_t rows = geometry_.params().rows_per_track();
@@ -172,11 +214,42 @@ double MemsDevice::EstimatePositioningMs(const Request& req, TimeMs at_ms) const
   const int64_t track_last = (req.lbn / track_blocks + 1) * track_blocks - 1;
   const int64_t seg_last = std::min(track_last, req.last_lbn());
   const int32_t other_row = geometry_.Decode(seg_last).row;
-  const Segment seg{addr.cylinder, addr.track, std::min(addr.row, other_row),
-                    std::max(addr.row, other_row)};
+  return Segment{addr.cylinder, addr.track, std::min(addr.row, other_row),
+                 std::max(addr.row, other_row)};
+}
+
+double MemsDevice::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
+  (void)at_ms;
+  const Segment seg = FirstSegment(req);
   const double pos_up = PositioningSeconds(sled_, seg, +1);
   const double pos_down = PositioningSeconds(sled_, seg, -1);
   return SecondsToMs(std::min(pos_up, pos_down));
+}
+
+void MemsDevice::EstimatePositioningBatch(const Request* reqs, int64_t count,
+                                          TimeMs at_ms, double* out_ms) const {
+  (void)at_ms;
+  // The X leg (seek + settle) depends only on the target cylinder while the
+  // sled state is fixed, so it is memoized across the batch; the scalar path
+  // recomputes it twice per request (once per candidate Y direction). Same
+  // expressions as PositioningSeconds, so results are bit-identical.
+  std::vector<double> tx_memo(static_cast<size_t>(geometry_.params().cylinders()), -1.0);
+  const double settle_s = geometry_.params().settle_seconds();
+  for (int64_t i = 0; i < count; ++i) {
+    const Segment seg = FirstSegment(reqs[i]);
+    double& tx = tx_memo[static_cast<size_t>(seg.cylinder)];
+    if (tx < 0.0) {
+      const double target_x = geometry_.CylinderX(seg.cylinder);
+      tx = target_x != sled_.x
+               ? kinematics_.SeekSeconds(sled_.x, target_x) + settle_s
+               : 0.0;
+    }
+    const double ty_up =
+        kinematics_.TravelSeconds(sled_.y, sled_.vy, EntryY(seg, +1), +v_access_);
+    const double ty_down =
+        kinematics_.TravelSeconds(sled_.y, sled_.vy, EntryY(seg, -1), -v_access_);
+    out_ms[i] = SecondsToMs(std::min(std::max(tx, ty_up), std::max(tx, ty_down)));
+  }
 }
 
 }  // namespace mstk

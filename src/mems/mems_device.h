@@ -43,6 +43,13 @@ class MemsDevice : public StorageDevice {
   double ServiceRequest(const Request& req, TimeMs start_ms,
                         ServiceBreakdown* breakdown = nullptr) override;
   double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
+  // Shares the per-cylinder X-seek time across the batch (the X component
+  // depends only on the target cylinder while the sled is at rest between
+  // requests). Bit-identical to the scalar estimate.
+  void EstimatePositioningBatch(const Request* reqs, int64_t count, TimeMs at_ms,
+                                double* out_ms) const override;
+  // No rotation: estimates depend only on the sled state, never on time.
+  bool PositioningIsTimeFree() const override { return true; }
   void Reset() override;
 
   // Seek errors (§6.1.3): with probability `rate` per request the servo
@@ -54,7 +61,10 @@ class MemsDevice : public StorageDevice {
   const MemsGeometry& geometry() const { return geometry_; }
   const SledKinematics& kinematics() const { return kinematics_; }
   const SledState& sled() const { return sled_; }
-  void set_sled(const SledState& state) { sled_ = state; }
+  void set_sled(const SledState& state) {
+    sled_ = state;
+    ++state_epoch_;
+  }
 
   // --- direct model probes (tests, Table 2, ablations) -------------------
   // Rest-to-rest X seek between cylinders, ms (no settle included).
@@ -76,6 +86,9 @@ class MemsDevice : public StorageDevice {
   };
 
   std::vector<Segment> SplitIntoSegments(int64_t lbn, int32_t block_count) const;
+
+  // First segment only (all the positioning estimate needs).
+  Segment FirstSegment(const Request& req) const;
 
   // Positioning time (seconds) from `state` to reading segment `seg` in
   // direction `dir` (+1 ascending rows, -1 descending). Tx/Ty overlap.

@@ -1,36 +1,61 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace mstk {
 
+namespace {
+// Compaction kicks in once the heap is both non-trivial and more than half
+// dead. The size floor keeps tiny queues from rebuilding constantly.
+constexpr size_t kCompactMinEntries = 64;
+}  // namespace
+
 int64_t EventQueue::Push(TimeMs at_ms, Callback cb) {
   const int64_t id = next_seq_++;
-  heap_.push(Key{at_ms, id});
+  heap_.push_back(Key{at_ms, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   callbacks_.emplace(id, std::move(cb));
   return id;
 }
 
-bool EventQueue::Cancel(int64_t event_id) { return callbacks_.erase(event_id) > 0; }
+bool EventQueue::Cancel(int64_t event_id) {
+  if (callbacks_.erase(event_id) == 0) {
+    return false;
+  }
+  if (heap_.size() >= kCompactMinEntries && callbacks_.size() * 2 < heap_.size()) {
+    Compact();
+  }
+  return true;
+}
+
+void EventQueue::Compact() {
+  std::erase_if(heap_, [this](const Key& key) {
+    return callbacks_.find(key.seq) == callbacks_.end();
+  });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+}
 
 void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && callbacks_.find(heap_.top().seq) == callbacks_.end()) {
-    heap_.pop();
+  while (!heap_.empty() && callbacks_.find(heap_.front().seq) == callbacks_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
 TimeMs EventQueue::PeekTime() {
   SkipCancelled();
   assert(!heap_.empty() && "PeekTime on empty queue");
-  return heap_.top().time_ms;
+  return heap_.front().time_ms;
 }
 
 EventQueue::Event EventQueue::Pop() {
   SkipCancelled();
   assert(!heap_.empty() && "Pop on empty queue");
-  const Key key = heap_.top();
-  heap_.pop();
+  const Key key = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
   auto it = callbacks_.find(key.seq);
   Event event{key.time_ms, key.seq, std::move(it->second)};
   callbacks_.erase(it);

@@ -2,13 +2,15 @@
 //
 // Events with equal timestamps fire in insertion order (stable), which keeps
 // runs deterministic regardless of heap tie-breaking. Cancellation is O(1)
-// with lazy removal from the heap.
+// with lazy removal from the heap; when dead entries outnumber live ones the
+// heap is compacted, so cancel-heavy workloads (timer re-arming) hold the
+// heap within a constant factor of the live event count instead of growing
+// without bound.
 #ifndef MSTK_SRC_SIM_EVENT_QUEUE_H_
 #define MSTK_SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +32,10 @@ class EventQueue {
 
   bool Empty() const { return callbacks_.empty(); }
   int64_t size() const { return static_cast<int64_t>(callbacks_.size()); }
+
+  // Heap entries currently held, including lazily-cancelled ones. Bounded at
+  // roughly 2x size() by compaction; exposed for tests.
+  int64_t heap_entries() const { return static_cast<int64_t>(heap_.size()); }
 
   // Time of the earliest live event. Requires !Empty().
   TimeMs PeekTime();
@@ -60,7 +66,11 @@ class EventQueue {
   // Drops heap entries whose callbacks were cancelled.
   void SkipCancelled();
 
-  std::priority_queue<Key, std::vector<Key>, Later> heap_;
+  // Rebuilds the heap from live entries only. (time, seq) is a strict total
+  // order, so the rebuilt heap pops in exactly the same sequence.
+  void Compact();
+
+  std::vector<Key> heap_;  // binary heap via std::push_heap/pop_heap
   std::unordered_map<int64_t, Callback> callbacks_;
   int64_t next_seq_ = 0;
 };

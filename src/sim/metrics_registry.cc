@@ -1,0 +1,111 @@
+#include "src/sim/metrics_registry.h"
+
+#include "src/sim/check.h"
+
+namespace mstk {
+
+void MetricsRegistry::Count(std::string_view name, int64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+int64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+SummaryStats& MetricsRegistry::Summary(std::string_view name) {
+  auto it = summaries_.find(name);
+  if (it == summaries_.end()) {
+    it = summaries_.emplace(std::string(name), SummaryStats{}).first;
+  }
+  return it->second;
+}
+
+const SummaryStats* MetricsRegistry::FindSummary(std::string_view name) const {
+  const auto it = summaries_.find(name);
+  return it == summaries_.end() ? nullptr : &it->second;
+}
+
+Histogram& MetricsRegistry::Hist(std::string_view name, double lo, double hi, int bins) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram(lo, hi, bins)).first;
+  } else {
+    MSTK_CHECK(it->second.bins() == bins && it->second.bin_lo(0) == lo &&
+                   it->second.bin_hi(bins - 1) == hi,
+               "MetricsRegistry::Hist: shape mismatch for existing histogram");
+  }
+  return it->second;
+}
+
+const Histogram* MetricsRegistry::FindHist(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    Count(name, value);
+  }
+  for (const auto& [name, summary] : other.summaries_) {
+    Summary(name).Merge(summary);
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, hist);
+    } else {
+      it->second.Merge(hist);
+    }
+  }
+}
+
+void MetricsRegistry::AppendJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, value] : counters_) {
+    json.KV(name, value);
+  }
+  json.EndObject();
+  json.Key("summaries");
+  json.BeginObject();
+  for (const auto& [name, s] : summaries_) {
+    json.Key(name);
+    json.BeginObject();
+    json.KV("count", s.count());
+    json.KV("mean", s.mean());
+    json.KV("stddev", s.stddev());
+    json.KV("min", s.min());
+    json.KV("max", s.max());
+    json.EndObject();
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    json.Key(name);
+    json.BeginObject();
+    json.KV("lo", h.bin_lo(0));
+    json.KV("hi", h.bin_hi(h.bins() - 1));
+    json.KV("count", h.count());
+    json.KV("underflow", h.underflow());
+    json.KV("overflow", h.overflow());
+    json.Key("bins");
+    json.BeginArray();
+    for (int i = 0; i < h.bins(); ++i) {
+      json.Int(h.bin_count(i));
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+}  // namespace mstk

@@ -1,0 +1,59 @@
+// Named-metric registry: counters, running summaries, and histograms keyed
+// by string names.
+//
+// One registry per run (or per trial); registries from independent trials
+// merge with Merge(), exactly like SummaryStats::Merge, so parallel trial
+// fan-outs can aggregate without sharing state. Iteration and JSON export
+// are in sorted name order, keeping documents byte-stable.
+#ifndef MSTK_SRC_SIM_METRICS_REGISTRY_H_
+#define MSTK_SRC_SIM_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/sim/json_writer.h"
+#include "src/sim/stats.h"
+
+namespace mstk {
+
+class MetricsRegistry {
+ public:
+  // Adds `delta` to the named counter (created at zero on first use).
+  void Count(std::string_view name, int64_t delta = 1);
+  // Current counter value; 0 if the counter was never touched.
+  int64_t counter(std::string_view name) const;
+
+  // Named running summary, created empty on first use. The reference stays
+  // valid for the registry's lifetime (hot paths may cache it).
+  SummaryStats& Summary(std::string_view name);
+  // Read-only lookup; nullptr if absent.
+  const SummaryStats* FindSummary(std::string_view name) const;
+
+  // Named histogram; created with the given shape on first use. Subsequent
+  // calls must pass the same shape (checked).
+  Histogram& Hist(std::string_view name, double lo, double hi, int bins);
+  const Histogram* FindHist(std::string_view name) const;
+
+  // Merges another registry: counters add, summaries and histograms merge.
+  // Histogram shapes must match where names collide.
+  void Merge(const MetricsRegistry& other);
+
+  bool empty() const {
+    return counters_.empty() && summaries_.empty() && histograms_.empty();
+  }
+
+  // {"counters":{..},"summaries":{name:{count,mean,..}},"histograms":{..}}
+  // in sorted name order.
+  void AppendJson(JsonWriter& json) const;
+
+ private:
+  std::map<std::string, int64_t, std::less<>> counters_;
+  std::map<std::string, SummaryStats, std::less<>> summaries_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_SIM_METRICS_REGISTRY_H_

@@ -56,12 +56,24 @@ void Histogram::Add(double x) {
     ++underflow_;
     return;
   }
-  if (x >= hi_) {
+  // Top bin is closed: x == hi_ belongs to the last bin (the clamp below),
+  // so the maximum observed value stays visible to Quantile().
+  if (x > hi_) {
     ++overflow_;
     return;
   }
   const int bin = static_cast<int>((x - lo_) / bin_width_);
   ++counts_[static_cast<size_t>(std::min(bin, bins() - 1))];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(lo_ == other.lo_ && hi_ == other.hi_ && counts_.size() == other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
 }
 
 double Histogram::bin_lo(int i) const { return lo_ + bin_width_ * i; }

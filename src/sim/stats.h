@@ -39,12 +39,18 @@ class SummaryStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+// Fixed-width histogram over [lo, hi] with overflow/underflow buckets.
+// The top bin is closed — a sample exactly at `hi` lands in the last bin,
+// not in overflow — so Quantile(1.0) covers the maximum observed value.
 class Histogram {
  public:
   Histogram(double lo, double hi, int bins);
 
   void Add(double x);
+
+  // Merges another histogram with identical (lo, hi, bins) shape
+  // (parallel/partitioned collection, like SummaryStats::Merge).
+  void Merge(const Histogram& other);
 
   int64_t count() const { return count_; }
   int bins() const { return static_cast<int>(counts_.size()); }

@@ -1,0 +1,82 @@
+#include "src/sim/trace_writer.h"
+
+#include "src/sim/json_writer.h"
+
+namespace mstk {
+
+int TraceWriter::AddTrack(const std::string& name) {
+  tracks_.push_back(name);
+  return static_cast<int>(tracks_.size());  // tids are 1-based
+}
+
+void TraceWriter::Slice(int tid, std::string_view name, TimeMs start_ms,
+                        double dur_ms, std::string_view color,
+                        std::vector<std::pair<std::string, double>> args) {
+  events_.push_back(Event{'X', tid, std::string(name), start_ms, dur_ms, 0.0,
+                          std::string(color), std::move(args)});
+}
+
+void TraceWriter::Counter(int tid, std::string_view name, TimeMs at_ms,
+                          double value) {
+  events_.push_back(
+      Event{'C', tid, std::string(name), at_ms, 0.0, value, std::string(), {}});
+}
+
+std::string TraceWriter::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("displayTimeUnit", "ms");
+  json.Key("traceEvents");
+  json.BeginArray();
+  // Thread-name metadata first so viewers label lanes before any slice.
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    json.BeginObject();
+    json.KV("ph", "M");
+    json.KV("name", "thread_name");
+    json.KV("pid", 1);
+    json.KV("tid", static_cast<int>(i) + 1);
+    json.Key("args");
+    json.BeginObject();
+    json.KV("name", tracks_[i]);
+    json.EndObject();
+    json.EndObject();
+  }
+  for (const Event& e : events_) {
+    json.BeginObject();
+    json.Key("ph");
+    json.String(std::string_view(&e.ph, 1));
+    json.KV("name", e.name);
+    json.KV("pid", 1);
+    json.KV("tid", e.tid);
+    json.KV("ts", e.start_ms * kUsPerMs);
+    if (e.ph == 'X') {
+      json.KV("dur", e.dur_ms * kUsPerMs);
+      if (!e.color.empty()) {
+        json.KV("cname", e.color);
+      }
+    }
+    if (e.ph == 'C') {
+      json.Key("args");
+      json.BeginObject();
+      json.KV("value", e.value);
+      json.EndObject();
+    } else if (!e.args.empty()) {
+      json.Key("args");
+      json.BeginObject();
+      for (const auto& [key, value] : e.args) {
+        json.KV(key, value);
+      }
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
+}
+
+bool TraceWriter::WriteFile(const std::string& path) const {
+  return WriteFileOrReport(path, ToJson());
+}
+
+}  // namespace mstk

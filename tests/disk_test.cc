@@ -156,6 +156,32 @@ TEST(DiskDeviceTest, AverageRandomAccessNearExpectation) {
   EXPECT_NEAR(mean, 8.2, 0.6);
 }
 
+TEST(DiskDeviceTest, PhaseBreakdownTilesServiceTime) {
+  // Disk phases: kSeekX = mechanical seek, kSeekY = initial rotational wait,
+  // kTurnaround = mid-transfer head/track switches, kOverhead = retry. Their
+  // sum must equal the returned service time exactly (to FP tolerance).
+  DiskDevice device;
+  device.EnableSeekErrors(0.2, /*seed=*/7);
+  Rng rng(29);
+  double now = 0.0;
+  bool saw_overhead = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int32_t blocks = 1 + static_cast<int32_t>(rng.UniformInt(512));
+    const Request req = MakeRead(rng.UniformInt(device.CapacityBlocks() - blocks), blocks);
+    ServiceBreakdown bd;
+    const double ms = device.ServiceRequest(req, now, &bd);
+    EXPECT_NEAR(bd.phases.service_ms(), ms, 1e-9) << "request " << i;
+    EXPECT_NEAR(bd.phases.service_ms(), bd.total_ms(), 1e-9);
+    for (int p = 0; p < kPhaseCount; ++p) {
+      EXPECT_GE(bd.phases.phase_ms[p], 0.0);
+    }
+    EXPECT_DOUBLE_EQ(bd.phases[Phase::kSettle], 0.0);  // MEMS-only phase
+    saw_overhead |= bd.phases[Phase::kOverhead] > 0.0;
+    now += ms;
+  }
+  EXPECT_TRUE(saw_overhead);  // retries occurred at this error rate
+}
+
 TEST(DiskDeviceTest, ResetRestoresState) {
   DiskDevice device;
   device.ServiceRequest(MakeRead(device.CapacityBlocks() - 100, 8), 0.0);

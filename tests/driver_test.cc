@@ -114,6 +114,48 @@ TEST(DriverTest, DispatchPenaltyDelaysService) {
   EXPECT_GE(metrics.response_time().mean(), 7.0);
 }
 
+TEST(DriverTest, QueuePhaseMatchesQueueTimeAndPhasesTileService) {
+  MemsDevice device;
+  FcfsScheduler sched;
+  // Enough load that real queueing happens.
+  const auto requests = SmallWorkload(device, 900.0, 2000, 3);
+  const ExperimentResult result = RunOpenLoop(&device, &sched, requests);
+  const MetricsCollector& m = result.metrics;
+  ASSERT_EQ(m.phase(Phase::kQueue).count(), m.completed());
+  // The driver stamps time-in-queue into the kQueue phase.
+  EXPECT_NEAR(m.phase(Phase::kQueue).mean(), m.queue_time().mean(), 1e-9);
+  EXPECT_GT(m.phase(Phase::kQueue).mean(), 0.0);
+  // Mechanical phases tile the service time on average.
+  double phase_mean_sum = 0.0;
+  for (int p = static_cast<int>(Phase::kSeekX); p < kPhaseCount; ++p) {
+    phase_mean_sum += m.phase(static_cast<Phase>(p)).mean();
+  }
+  EXPECT_NEAR(phase_mean_sum, m.service_time().mean(), 1e-9);
+}
+
+TEST(DriverTest, DispatchPenaltyLandsInOverheadPhase) {
+  MemsDevice device;
+  FcfsScheduler sched;
+  MetricsCollector metrics;
+  Simulator sim;
+  Driver driver(&sim, &device, &sched, &metrics);
+  Request req;
+  req.lbn = 0;
+  req.block_count = 8;
+  req.arrival_ms = 0.0;
+  driver.AddDispatchPenalty(7.0);
+  sim.ScheduleAt(0.0, [&] { driver.Submit(req); });
+  sim.Run();
+  EXPECT_GE(metrics.phase(Phase::kOverhead).mean(), 7.0);
+  EXPECT_NEAR(metrics.phase(Phase::kOverhead).mean() +
+                  metrics.phase(Phase::kSeekX).mean() +
+                  metrics.phase(Phase::kSeekY).mean() +
+                  metrics.phase(Phase::kSettle).mean() +
+                  metrics.phase(Phase::kTurnaround).mean() +
+                  metrics.phase(Phase::kTransfer).mean(),
+              metrics.service_time().mean(), 1e-9);
+}
+
 TEST(DriverTest, SptfIntegrationReordersQueue) {
   MemsDevice device;
   SptfScheduler sptf(&device);

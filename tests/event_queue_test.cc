@@ -71,5 +71,47 @@ TEST(EventQueueTest, CancelAfterFireReturnsFalse) {
   EXPECT_FALSE(q.Cancel(id));
 }
 
+TEST(EventQueueTest, CancelChurnKeepsHeapBounded) {
+  // Timer re-arming pattern: push a replacement and cancel the old event,
+  // thousands of times. Lazy cancellation alone would grow the heap to one
+  // entry per push; compaction must keep it within a constant factor of the
+  // live count.
+  EventQueue q;
+  int64_t pending = q.Push(1.0, [] {});
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t next = q.Push(static_cast<double>(i + 2), [] {});
+    EXPECT_TRUE(q.Cancel(pending));
+    pending = next;
+  }
+  EXPECT_EQ(q.size(), 1);
+  EXPECT_LE(q.heap_entries(), 64 + 2);
+  EXPECT_DOUBLE_EQ(q.Pop().time_ms, 10001.0);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, CompactionPreservesPopOrder) {
+  EventQueue q;
+  std::vector<int64_t> ids;
+  // 256 live events at descending times plus heavy cancel churn in between.
+  for (int i = 0; i < 256; ++i) {
+    ids.push_back(q.Push(static_cast<double>(256 - i), [] {}));
+    const int64_t dead = q.Push(1000.0, [] {});
+    q.Cancel(dead);
+  }
+  // Cancel every other survivor to force more compactions.
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    q.Cancel(ids[i]);
+  }
+  double last = 0.0;
+  int64_t popped = 0;
+  while (!q.Empty()) {
+    const EventQueue::Event e = q.Pop();
+    EXPECT_GT(e.time_ms, last);
+    last = e.time_ms;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 128);
+}
+
 }  // namespace
 }  // namespace mstk

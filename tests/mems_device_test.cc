@@ -204,5 +204,34 @@ TEST(MemsDeviceTest, ServiceTimeAlwaysPositiveAndBounded) {
   }
 }
 
+TEST(MemsDeviceTest, PhaseBreakdownTilesServiceTime) {
+  // The fine-grained phases must account for every microsecond the coarse
+  // model charges: sum(phases) == returned service time, for random
+  // requests including multi-segment transfers and seek-error retries.
+  MemsDevice device;
+  device.EnableSeekErrors(0.2, /*seed=*/7);
+  Rng rng(29);
+  double now = 0.0;
+  bool saw_turnaround = false;
+  bool saw_overhead = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int32_t blocks = 1 + static_cast<int32_t>(rng.UniformInt(200));
+    const Request req = MakeRead(rng.UniformInt(device.CapacityBlocks() - blocks), blocks);
+    ServiceBreakdown bd;
+    const double ms = device.ServiceRequest(req, now, &bd);
+    EXPECT_NEAR(bd.phases.service_ms(), ms, 1e-9) << "request " << i;
+    EXPECT_NEAR(bd.phases.service_ms(), bd.total_ms(), 1e-9);
+    EXPECT_DOUBLE_EQ(bd.phases[Phase::kQueue], 0.0);  // device doesn't queue
+    for (int p = 0; p < kPhaseCount; ++p) {
+      EXPECT_GE(bd.phases.phase_ms[p], 0.0);
+    }
+    saw_turnaround |= bd.phases[Phase::kTurnaround] > 0.0;
+    saw_overhead |= bd.phases[Phase::kOverhead] > 0.0;
+    now += ms;
+  }
+  EXPECT_TRUE(saw_turnaround);  // multi-segment requests occurred
+  EXPECT_TRUE(saw_overhead);    // seek-error retries occurred
+}
+
 }  // namespace
 }  // namespace mstk

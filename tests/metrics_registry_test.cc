@@ -1,0 +1,103 @@
+#include "src/sim/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/sim/rng.h"
+
+namespace mstk {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulateAndDefaultToZero) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter("missing"), 0);
+  EXPECT_TRUE(reg.empty());
+  reg.Count("requests");
+  reg.Count("requests", 4);
+  reg.Count("errors", 0);
+  EXPECT_EQ(reg.counter("requests"), 5);
+  EXPECT_EQ(reg.counter("errors"), 0);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(MetricsRegistryTest, SummaryReferenceIsStable) {
+  MetricsRegistry reg;
+  SummaryStats& s = reg.Summary("response_ms");
+  s.Add(2.0);
+  reg.Summary("other").Add(100.0);  // map growth must not move `s`
+  s.Add(4.0);
+  EXPECT_EQ(reg.FindSummary("response_ms")->count(), 2);
+  EXPECT_DOUBLE_EQ(reg.FindSummary("response_ms")->mean(), 3.0);
+  EXPECT_EQ(reg.FindSummary("absent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, HistogramShapeIsSticky) {
+  MetricsRegistry reg;
+  reg.Hist("lat", 0.0, 10.0, 10).Add(5.0);
+  // Same shape: same histogram.
+  reg.Hist("lat", 0.0, 10.0, 10).Add(6.0);
+  EXPECT_EQ(reg.FindHist("lat")->count(), 2);
+  EXPECT_EQ(reg.FindHist("nope"), nullptr);
+  EXPECT_DEATH(reg.Hist("lat", 0.0, 20.0, 10), "shape");
+}
+
+TEST(MetricsRegistryTest, MergeCombinesAllThreeKinds) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  Rng rng(17);
+  MetricsRegistry all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(0.0, 10.0);
+    MetricsRegistry& target = i % 2 == 0 ? a : b;
+    target.Count("n");
+    target.Summary("x").Add(x);
+    target.Hist("xh", 0.0, 10.0, 20).Add(x);
+    all.Count("n");
+    all.Summary("x").Add(x);
+    all.Hist("xh", 0.0, 10.0, 20).Add(x);
+  }
+  b.Count("b_only", 7);
+  b.Summary("b_sum").Add(1.0);
+  a.Merge(b);
+  EXPECT_EQ(a.counter("n"), all.counter("n"));
+  EXPECT_EQ(a.counter("b_only"), 7);
+  EXPECT_EQ(a.FindSummary("x")->count(), 500);
+  EXPECT_NEAR(a.FindSummary("x")->mean(), all.FindSummary("x")->mean(), 1e-9);
+  EXPECT_NEAR(a.FindSummary("x")->variance(), all.FindSummary("x")->variance(),
+              1e-9);
+  EXPECT_EQ(a.FindSummary("b_sum")->count(), 1);
+  for (int bin = 0; bin < 20; ++bin) {
+    EXPECT_EQ(a.FindHist("xh")->bin_count(bin), all.FindHist("xh")->bin_count(bin));
+  }
+}
+
+TEST(MetricsRegistryTest, JsonIsSortedAndStable) {
+  MetricsRegistry reg;
+  reg.Count("zeta", 3);
+  reg.Count("alpha", 1);
+  reg.Summary("mid").Add(2.5);
+  reg.Hist("h", 0.0, 1.0, 2).Add(0.25);
+
+  JsonWriter json1;
+  reg.AppendJson(json1);
+  const std::string doc = json1.str();
+  // Counters appear in sorted order regardless of insertion order.
+  EXPECT_LT(doc.find("\"alpha\""), doc.find("\"zeta\""));
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"summaries\""), std::string::npos);
+  EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+
+  // Byte-stable: a semantically identical registry serializes identically.
+  MetricsRegistry reg2;
+  reg2.Summary("mid").Add(2.5);
+  reg2.Count("alpha", 1);
+  reg2.Count("zeta", 3);
+  reg2.Hist("h", 0.0, 1.0, 2).Add(0.25);
+  JsonWriter json2;
+  reg2.AppendJson(json2);
+  EXPECT_EQ(doc, json2.str());
+}
+
+}  // namespace
+}  // namespace mstk

@@ -73,8 +73,70 @@ TEST(RequestTest, DerivedFields) {
 }
 
 TEST(ServiceBreakdownTest, TotalSumsComponents) {
-  const ServiceBreakdown bd{1.0, 2.0, 0.5};
+  const ServiceBreakdown bd{1.0, 2.0, 0.5, {}};
   EXPECT_DOUBLE_EQ(bd.total_ms(), 3.5);
+}
+
+TEST(ServiceBreakdownTest, EnsurePhasesDerivesFromCoarseFields) {
+  ServiceBreakdown bd{1.0, 2.0, 0.5, {}};
+  bd.EnsurePhases();
+  EXPECT_DOUBLE_EQ(bd.phases[Phase::kSeekX], 1.0);
+  EXPECT_DOUBLE_EQ(bd.phases[Phase::kTransfer], 2.0);
+  EXPECT_DOUBLE_EQ(bd.phases[Phase::kTurnaround], 0.5);
+  EXPECT_DOUBLE_EQ(bd.phases.service_ms(), bd.total_ms());
+  // A breakdown whose device already filled the phases is left alone.
+  ServiceBreakdown fine{1.0, 2.0, 0.5, {}};
+  fine.phases[Phase::kSeekY] = 3.5;
+  fine.EnsurePhases();
+  EXPECT_DOUBLE_EQ(fine.phases[Phase::kSeekX], 0.0);
+  EXPECT_DOUBLE_EQ(fine.phases[Phase::kSeekY], 3.5);
+}
+
+TEST(MetricsTest, PhaseSummariesTrackBreakdowns) {
+  MetricsCollector m;
+  PhaseBreakdown phases;
+  phases[Phase::kQueue] = 5.0;
+  phases[Phase::kSeekX] = 1.0;
+  phases[Phase::kTransfer] = 2.0;
+  const Request req = At(10.0);
+  m.RecordCompletion(req, 18.0, 3.0, phases);
+  phases[Phase::kSeekX] = 3.0;
+  m.RecordCompletion(req, 26.0, 5.0, phases);
+  EXPECT_EQ(m.phase(Phase::kSeekX).count(), 2);
+  EXPECT_DOUBLE_EQ(m.phase(Phase::kSeekX).mean(), 2.0);
+  EXPECT_DOUBLE_EQ(m.phase(Phase::kTransfer).mean(), 2.0);
+  EXPECT_DOUBLE_EQ(m.phase(Phase::kQueue).mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.phase(Phase::kSettle).mean(), 0.0);
+  // The 3-argument overload records no phase samples.
+  m.RecordCompletion(req, 30.0, 1.0);
+  EXPECT_EQ(m.phase(Phase::kSeekX).count(), 2);
+  EXPECT_EQ(m.completed(), 3);
+}
+
+TEST(MetricsTest, ExportToRegistryUsesStableNames) {
+  MetricsCollector m;
+  PhaseBreakdown phases;
+  phases[Phase::kTransfer] = 2.0;
+  const Request req = At(0.0);
+  m.RecordDispatch(req, 1.0, 1);
+  m.RecordCompletion(req, 3.0, 2.0, phases);
+
+  MetricsRegistry registry;
+  m.ExportTo(&registry);
+  EXPECT_EQ(registry.counter("requests_completed"), 1);
+  ASSERT_NE(registry.FindSummary("response_ms"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.FindSummary("response_ms")->mean(), 3.0);
+  ASSERT_NE(registry.FindSummary("phase_transfer_ms"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.FindSummary("phase_transfer_ms")->mean(), 2.0);
+  ASSERT_NE(registry.FindSummary("queue_ms"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.FindSummary("queue_ms")->mean(), 1.0);
+
+  // Exports from independent collectors merge like SummaryStats.
+  MetricsCollector m2;
+  m2.RecordCompletion(req, 5.0, 4.0, phases);
+  m2.ExportTo(&registry);
+  EXPECT_EQ(registry.counter("requests_completed"), 2);
+  EXPECT_DOUBLE_EQ(registry.FindSummary("response_ms")->mean(), 4.0);
 }
 
 }  // namespace

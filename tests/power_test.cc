@@ -161,6 +161,55 @@ TEST(PowerTest, BusyLoadKeepsDeviceActive) {
   EXPECT_GT(r.active_ms, 0.5 * r.makespan_ms);
 }
 
+TEST(PowerTest, ArrivalExactlyAtStandbyTransitionStaysIdle) {
+  // Timestamp tie: a request arriving at precisely idle_start + timeout must
+  // beat the standby timer (arrivals are scheduled before any timer, so the
+  // (time, seq) order resolves the tie in their favor) — no spurious restart,
+  // no double-closed interval, and the state clock still covers the run.
+  MemsDevice device;
+  FcfsScheduler sched;
+  const auto power = DevicePowerParams::MemsDefaults();
+  const double timeout_ms = 10.0;
+
+  // Probe: service time of the lone first request gives the idle start.
+  Request probe;
+  probe.id = 0;
+  probe.lbn = 1000;
+  probe.block_count = 8;
+  probe.arrival_ms = 0.0;
+  const PowerResult lone = RunPowerExperiment(&device, &sched, {probe}, power,
+                                              IdlePolicy::Timeout(timeout_ms));
+  const double idle_start_ms = lone.makespan_ms;
+
+  Request tied;
+  tied.id = 1;
+  tied.lbn = 5000;
+  tied.block_count = 8;
+  tied.arrival_ms = idle_start_ms + timeout_ms;  // exact tie with the timer
+  const PowerResult r = RunPowerExperiment(&device, &sched, {probe, tied},
+                                           power, IdlePolicy::Timeout(timeout_ms));
+  EXPECT_EQ(r.restarts, 0);
+  EXPECT_EQ(r.standby_ms, 0.0);
+  EXPECT_EQ(r.startup_ms, 0.0);
+  // The run ends when the post-completion standby timer fires, `timeout_ms`
+  // after the last completion; each interval is closed exactly once, so the
+  // per-state clocks tile that wall time with no gap or overlap.
+  const double total_ms = r.active_ms + r.startup_ms + r.idle_ms + r.standby_ms;
+  EXPECT_NEAR(total_ms, r.makespan_ms + timeout_ms, 1e-9);
+  // And the state energies are exactly the state times at the state powers.
+  EXPECT_NEAR(r.active_j, r.active_ms * power.active_mw * 1e-6, 1e-12);
+  EXPECT_NEAR(r.idle_j, r.idle_ms * power.idle_mw * 1e-6, 1e-12);
+  EXPECT_EQ(r.standby_j, 0.0);
+
+  // Contrast: half a millisecond later and the timer wins — one restart.
+  Request late = tied;
+  late.arrival_ms = idle_start_ms + timeout_ms + 0.5;
+  const PowerResult r2 = RunPowerExperiment(&device, &sched, {probe, late},
+                                            power, IdlePolicy::Timeout(timeout_ms));
+  EXPECT_EQ(r2.restarts, 1);
+  EXPECT_NEAR(r2.standby_ms, 0.5, 1e-9);
+}
+
 TEST(PowerTest, RestartCountMatchesStandbyEntries) {
   MemsDevice device;
   FcfsScheduler sched;

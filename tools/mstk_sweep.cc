@@ -4,11 +4,16 @@
 //   mstk_sweep smoke --trials 4 --jobs 2 --json BENCH_smoke.json
 //   mstk_sweep sched_random --trials 8 --json BENCH_sched_random.json
 //   mstk_sweep smoke --selfcheck          # determinism gate (CI)
+//   mstk_sweep smoke --trace trace.json   # Chrome trace of trial 0 per cell
 //   mstk_sweep --list
 //
 // The JSON deliberately records no wall-clock time and no job count, so the
 // same (sweep, seed, trials) invocation is byte-identical at any --jobs
 // value — CI compares a --jobs 1 reference against a parallel run with cmp.
+// --trace re-runs trial 0 of each cell serially after the sweep with a
+// recording track attached (one lane per cell, per-request phase slices for
+// chrome://tracing / Perfetto), so the sweep JSON itself stays byte-identical
+// with and without tracing.
 //
 // Sweeps:
 //   smoke         2 schedulers x 2 rates, 2000 requests  (CI gate, ~seconds)
@@ -36,7 +41,7 @@ struct SweepCell {
   // Distinct offset per seed group: cells sharing an offset (e.g. every
   // scheduler at one rate) replay identical request streams.
   int64_t seed_offset;
-  std::function<ExperimentResult(uint64_t seed)> trial;
+  std::function<ExperimentResult(uint64_t seed, TraceTrack trace)> trial;
 };
 
 constexpr SchedKind kAllScheds[] = {SchedKind::kFcfs, SchedKind::kSstfLbn,
@@ -51,8 +56,8 @@ std::vector<SweepCell> BuildSweep(const std::string& name) {
         const double rate = rates[r];
         cells.push_back({"rate" + Fmt("%.0f", rate) + "/" + SchedKindName(sched),
                          static_cast<int64_t>(r),
-                         [sched, rate, count](uint64_t seed) {
-                           return RunRandomSchedTrial(sched, rate, count, seed);
+                         [sched, rate, count](uint64_t seed, TraceTrack trace) {
+                           return RunRandomSchedTrial(sched, rate, count, seed, trace);
                          }});
       }
     }
@@ -72,9 +77,10 @@ std::vector<SweepCell> BuildSweep(const std::string& name) {
         cells.push_back({std::string(cello ? "cello" : "tpcc") + "_scale" +
                              Fmt("%.0f", scale) + "/" + SchedKindName(sched),
                          0,  // same base trace at every scale, as in the paper
-                         [cello, sched, scale](uint64_t seed) {
-                           return cello ? RunCelloSchedTrial(sched, scale, 20000, seed)
-                                        : RunTpccSchedTrial(sched, scale, 20000, seed);
+                         [cello, sched, scale](uint64_t seed, TraceTrack trace) {
+                           return cello
+                                      ? RunCelloSchedTrial(sched, scale, 20000, seed, trace)
+                                      : RunTpccSchedTrial(sched, scale, 20000, seed, trace);
                          }});
       }
     }
@@ -97,7 +103,7 @@ std::string RunSweepJson(const std::string& sweep, const std::vector<SweepCell>&
     opts.jobs = jobs;
     opts.base_seed = DeriveTrialSeed(base_seed, cell.seed_offset);
     const AggregateResult agg = TrialRunner::RunExperiments(
-        opts, [&cell](uint64_t seed, int64_t) { return cell.trial(seed); });
+        opts, [&cell](uint64_t seed, int64_t) { return cell.trial(seed, TraceTrack{}); });
     json.BeginObject();
     json.KV("name", cell.name);
     json.Key("result");
@@ -112,11 +118,26 @@ std::string RunSweepJson(const std::string& sweep, const std::vector<SweepCell>&
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [SWEEP] [--trials N] [--jobs N] [--seed S] [--json PATH]\n"
+               "          [--trace PATH]\n"
                "       %s --list\n"
                "       %s [SWEEP] --selfcheck   (compare --jobs 1 vs parallel run)\n"
                "sweeps: smoke sched_random sched_cello sched_tpcc\n",
                argv0, argv0, argv0);
   return 2;
+}
+
+// Chrome trace of trial 0 of every cell: a separate serial re-run with a
+// per-cell track, so tracing cannot perturb the sweep's measured results.
+bool WriteSweepTrace(const std::string& path, const std::vector<SweepCell>& cells,
+                     uint64_t base_seed) {
+  TraceWriter writer;
+  for (const SweepCell& cell : cells) {
+    const int tid = writer.AddTrack(cell.name);
+    const uint64_t cell_seed =
+        DeriveTrialSeed(DeriveTrialSeed(base_seed, cell.seed_offset), 0);
+    cell.trial(cell_seed, TraceTrack(&writer, tid));
+  }
+  return writer.WriteFile(path);
 }
 
 }  // namespace
@@ -127,6 +148,7 @@ int main(int argc, char** argv) {
   int jobs = 0;  // all cores
   uint64_t base_seed = 1;
   std::string json_path;
+  std::string trace_path;
   bool selfcheck = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -146,6 +168,8 @@ int main(int argc, char** argv) {
       base_seed = std::strtoull(next(), nullptr, 10);
     } else if (std::strcmp(arg, "--json") == 0) {
       json_path = next();
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      trace_path = next();
     } else if (std::strcmp(arg, "--selfcheck") == 0) {
       selfcheck = true;
     } else if (arg[0] != '-') {
@@ -177,6 +201,9 @@ int main(int argc, char** argv) {
   }
 
   const std::string doc = RunSweepJson(sweep, cells, trials, jobs, base_seed);
+  if (!trace_path.empty() && !WriteSweepTrace(trace_path, cells, base_seed)) {
+    return 1;
+  }
   if (json_path.empty()) {
     std::fputs(doc.c_str(), stdout);
     return 0;
