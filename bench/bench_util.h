@@ -27,6 +27,8 @@
 #include "src/core/io_scheduler.h"
 #include "src/core/storage_device.h"
 #include "src/core/trial_runner.h"
+#include "src/disk/disk_device.h"
+#include "src/fault/fault_experiment.h"
 #include "src/mems/mems_device.h"
 #include "src/sched/clook.h"
 #include "src/sched/fcfs.h"
@@ -46,6 +48,9 @@ struct BenchOptions {
   int64_t trials = 1;
   int jobs = 0;  // 0 = one worker per hardware core
   uint64_t seed = 1;
+  // Per-attempt transient-error probability for fault-injection sections
+  // (0 disables injection; see docs/USAGE.md "Fault injection").
+  double fault_rate = 0.0;
   std::string json_path;
   std::string trace_path;
 
@@ -70,6 +75,8 @@ struct BenchOptions {
         opts.jobs = std::atoi(next());
       } else if (std::strcmp(arg, "--seed") == 0) {
         opts.seed = std::strtoull(next(), nullptr, 10);
+      } else if (std::strcmp(arg, "--fault-rate") == 0) {
+        opts.fault_rate = std::atof(next());
       } else if (std::strcmp(arg, "--json") == 0) {
         opts.json_path = next();
       } else if (std::strcmp(arg, "--trace") == 0) {
@@ -77,7 +84,7 @@ struct BenchOptions {
       } else {
         std::fprintf(stderr,
                      "usage: %s [--csv] [--fast] [--trials N] [--jobs N] "
-                     "[--seed S] [--json PATH] [--trace PATH]\n",
+                     "[--seed S] [--fault-rate P] [--json PATH] [--trace PATH]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -246,6 +253,78 @@ inline ExperimentResult RunRandomSchedTrial(SchedKind kind, double rate, int64_t
   Rng rng(seed);
   const auto requests = GenerateRandomWorkload(config, rng);
   return RunWithScheduler(&device, kind, requests, trace);
+}
+
+// One fault-injection cell trial: random workload at `rate` on a fresh MEMS
+// device with online fault injection and recovery (§6). The injector's
+// fault stream is derived from `seed` so trials stay independent and
+// deterministic.
+inline ExperimentResult RunFaultedRandomTrial(SchedKind kind, double rate, int64_t count,
+                                              const FaultRunConfig& config, uint64_t seed,
+                                              TraceTrack trace = {}) {
+  MemsDevice device;
+  RandomWorkloadConfig wl;
+  wl.arrival_rate_per_s = rate;
+  wl.request_count = count;
+  wl.capacity_blocks = device.CapacityBlocks();
+  Rng rng(seed);
+  const auto requests = GenerateRandomWorkload(wl, rng);
+  const uint64_t fault_seed = DeriveTrialSeed(seed, /*trial_index=*/0x0fa17);
+  switch (kind) {
+    case SchedKind::kFcfs: {
+      FcfsScheduler sched;
+      return RunFaultInjectedOpenLoop(&device, &sched, requests, config, fault_seed, trace);
+    }
+    case SchedKind::kSstfLbn: {
+      SstfLbnScheduler sched;
+      return RunFaultInjectedOpenLoop(&device, &sched, requests, config, fault_seed, trace);
+    }
+    case SchedKind::kClook: {
+      ClookScheduler sched;
+      return RunFaultInjectedOpenLoop(&device, &sched, requests, config, fault_seed, trace);
+    }
+    case SchedKind::kSptf: {
+      SptfScheduler sched(&device);
+      return RunFaultInjectedOpenLoop(&device, &sched, requests, config, fault_seed, trace);
+    }
+  }
+  FcfsScheduler sched;
+  return RunFaultInjectedOpenLoop(&device, &sched, requests, config, fault_seed, trace);
+}
+
+// As above on a fresh DiskDevice — exercises the disk-style remap timing
+// penalties (slip / spare region).
+inline ExperimentResult RunFaultedDiskTrial(SchedKind kind, double rate, int64_t count,
+                                            const FaultRunConfig& config, uint64_t seed,
+                                            TraceTrack trace = {}) {
+  DiskDevice device;
+  RandomWorkloadConfig wl;
+  wl.arrival_rate_per_s = rate;
+  wl.request_count = count;
+  wl.capacity_blocks = device.CapacityBlocks();
+  Rng rng(seed);
+  const auto requests = GenerateRandomWorkload(wl, rng);
+  const uint64_t fault_seed = DeriveTrialSeed(seed, /*trial_index=*/0x0fa17);
+  switch (kind) {
+    case SchedKind::kFcfs: {
+      FcfsScheduler sched;
+      return RunFaultInjectedOpenLoop(&device, &sched, requests, config, fault_seed, trace);
+    }
+    case SchedKind::kSstfLbn: {
+      SstfLbnScheduler sched;
+      return RunFaultInjectedOpenLoop(&device, &sched, requests, config, fault_seed, trace);
+    }
+    case SchedKind::kClook: {
+      ClookScheduler sched;
+      return RunFaultInjectedOpenLoop(&device, &sched, requests, config, fault_seed, trace);
+    }
+    case SchedKind::kSptf: {
+      SptfScheduler sched(&device);
+      return RunFaultInjectedOpenLoop(&device, &sched, requests, config, fault_seed, trace);
+    }
+  }
+  FcfsScheduler sched;
+  return RunFaultInjectedOpenLoop(&device, &sched, requests, config, fault_seed, trace);
 }
 
 // One Fig 7(a) cell trial: cello-like trace at time-scale `scale`.

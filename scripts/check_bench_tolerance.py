@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Perf-smoke tolerance gate over mstk_sweep JSON documents.
+
+The simulator runs in virtual time, so sweep metrics are machine-independent:
+on an unchanged model the deltas below are exactly zero, and any nonzero
+delta is a real model/timing change. The tolerance exists so intentional
+model changes inside the band don't require a lockstep baseline update;
+anything past it fails CI until the baseline is regenerated on purpose.
+
+Usage:
+  check_bench_tolerance.py write BASELINE SWEEP_JSON...
+      Record/refresh the baseline from sweep documents (merges by sweep name).
+  check_bench_tolerance.py check BASELINE SWEEP_JSON... [--tolerance 0.15]
+      [--report PATH]
+      Compare each sweep's mean_*_ms metric means against the baseline.
+      Exit 1 if any relative delta exceeds the tolerance, or if a baseline
+      cell/metric disappeared from the measurement.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+METRIC_RE = re.compile(r"^mean_.*_ms$")
+
+
+def extract(doc):
+    """{cell_name: {metric_name: mean}} for the gated metrics of one sweep."""
+    cells = {}
+    for cell in doc["cells"]:
+        metrics = cell["result"]["metrics"]
+        cells[cell["name"]] = {
+            name: m["mean"] for name, m in metrics.items() if METRIC_RE.match(name)
+        }
+    return cells
+
+
+def load_sweeps(paths):
+    sweeps = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        sweeps[doc["sweep"]] = extract(doc)
+    return sweeps
+
+
+def write_baseline(baseline_path, sweep_paths):
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        baseline = {"sweeps": {}}
+    baseline["sweeps"].update(load_sweeps(sweep_paths))
+    with open(baseline_path, "w") as f:
+        json.dump(baseline, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"baseline written: {baseline_path} ({len(baseline['sweeps'])} sweeps)")
+    return 0
+
+
+def check(baseline_path, sweep_paths, tolerance, report_path):
+    with open(baseline_path) as f:
+        baseline = json.load(f)["sweeps"]
+    measured = load_sweeps(sweep_paths)
+
+    rows = []  # (sweep, cell, metric, base, now, rel_delta, ok)
+    failures = []
+    for sweep, cells in measured.items():
+        base_cells = baseline.get(sweep)
+        if base_cells is None:
+            print(f"note: sweep '{sweep}' not in baseline, skipping")
+            continue
+        for cell, base_metrics in base_cells.items():
+            now_metrics = cells.get(cell)
+            if now_metrics is None:
+                failures.append(f"{sweep}/{cell}: cell missing from measurement")
+                continue
+            for metric, base in base_metrics.items():
+                if metric not in now_metrics:
+                    failures.append(f"{sweep}/{cell}/{metric}: metric missing")
+                    continue
+                now = now_metrics[metric]
+                if base == 0.0:
+                    rel = 0.0 if now == 0.0 else float("inf")
+                else:
+                    rel = abs(now - base) / abs(base)
+                ok = rel <= tolerance
+                rows.append((sweep, cell, metric, base, now, rel, ok))
+                if not ok:
+                    failures.append(
+                        f"{sweep}/{cell}/{metric}: {base:.6g} -> {now:.6g} "
+                        f"({rel:+.1%} > ±{tolerance:.0%})"
+                    )
+
+    if report_path:
+        with open(report_path, "w") as f:
+            f.write(f"# Perf-smoke delta report (tolerance ±{tolerance:.0%})\n\n")
+            f.write("| sweep | cell | metric | baseline | measured | delta | ok |\n")
+            f.write("|---|---|---|---|---|---|---|\n")
+            for sweep, cell, metric, base, now, rel, ok in rows:
+                mark = "✓" if ok else "✗ FAIL"
+                f.write(
+                    f"| {sweep} | {cell} | {metric} | {base:.6g} | {now:.6g} "
+                    f"| {rel:+.2%} | {mark} |\n"
+                )
+            if failures:
+                f.write("\n## Failures\n\n")
+                for line in failures:
+                    f.write(f"- {line}\n")
+
+    checked = len(rows)
+    if failures:
+        print(f"TOLERANCE FAILURE: {len(failures)} of {checked} checks out of band")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"tolerance ok: {checked} metric means within ±{tolerance:.0%}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode", choices=["write", "check"])
+    parser.add_argument("baseline")
+    parser.add_argument("sweeps", nargs="+", help="mstk_sweep --json documents")
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    parser.add_argument("--report", default="")
+    args = parser.parse_args()
+
+    if args.mode == "write":
+        return write_baseline(args.baseline, args.sweeps)
+    return check(args.baseline, args.sweeps, args.tolerance, args.report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@
 #ifndef MSTK_SRC_ARRAY_RAID_H_
 #define MSTK_SRC_ARRAY_RAID_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -46,6 +47,15 @@ class RaidArray : public StorageDevice {
   double ServiceRequest(const Request& req, TimeMs start_ms,
                         ServiceBreakdown* breakdown = nullptr) override;
   double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
+  // Degraded penalty of the slowest member: array operations fan out to all
+  // members, so the worst member's surcharge bounds the array's.
+  double DegradedPenaltyMs() const override {
+    double worst = 0.0;
+    for (const StorageDevice* m : members_) {
+      worst = std::max(worst, m->DegradedPenaltyMs());
+    }
+    return worst;
+  }
   void Reset() override;
 
   const RaidConfig& config() const { return config_; }

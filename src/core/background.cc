@@ -8,9 +8,9 @@ BackgroundRunner::BackgroundRunner(Simulator* sim, Driver* driver,
                                    std::vector<Request> tasks, double idle_delay_ms,
                                    int64_t id_base)
     : sim_(sim), driver_(driver), idle_delay_ms_(idle_delay_ms), id_base_(id_base) {
-  int64_t seq = 0;
   for (Request& task : tasks) {
-    task.id = id_base_ + seq++;
+    task.id = id_base_ + next_seq_++;
+    task.background = true;
     tasks_.push_back(task);
   }
   driver_->AddIdleListener([this](TimeMs now) { OnIdle(now); });
@@ -28,6 +28,15 @@ BackgroundRunner::BackgroundRunner(Simulator* sim, Driver* driver,
       OnIdle(sim_->NowMs());
     }
   });
+}
+
+void BackgroundRunner::Enqueue(Request task) {
+  task.id = id_base_ + next_seq_++;
+  task.background = true;
+  tasks_.push_back(std::move(task));
+  if (!driver_->device_busy() && driver_->queued() == 0) {
+    OnIdle(sim_->NowMs());
+  }
 }
 
 void BackgroundRunner::OnIdle(TimeMs now_ms) {

@@ -1,5 +1,6 @@
 #include "src/core/driver.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -18,15 +19,18 @@ const char* PhaseColor(Phase p) {
     case Phase::kTurnaround: return "terrible";
     case Phase::kTransfer: return "good";
     case Phase::kOverhead: return "black";
+    case Phase::kFault: return "yellow";
   }
   return "grey";
 }
 
 // Service phases in the order their slices are laid out under the request
-// slice: dispatch penalty/overheads first, then positioning, then transfer.
-constexpr Phase kSlicePhaseOrder[] = {Phase::kOverhead,    Phase::kSeekX,
-                                      Phase::kSettle,      Phase::kSeekY,
-                                      Phase::kTurnaround,  Phase::kTransfer};
+// slice: fault recovery (retries happened before the successful attempt),
+// then dispatch penalty/overheads, then positioning, then transfer.
+constexpr Phase kSlicePhaseOrder[] = {Phase::kFault,      Phase::kOverhead,
+                                      Phase::kSeekX,      Phase::kSettle,
+                                      Phase::kSeekY,      Phase::kTurnaround,
+                                      Phase::kTransfer};
 
 }  // namespace
 
@@ -48,10 +52,15 @@ void Driver::EmitRequestTrace(const Request& req, TimeMs dispatch_ms,
   // Parent slice spans [dispatch, completion]; phase slices tile it in
   // canonical order (their durations sum to the service time) and nest
   // under it in the viewer.
+  std::vector<std::pair<std::string, double>> args = {
+      {"lbn", static_cast<double>(req.lbn)},
+      {"blocks", static_cast<double>(req.block_count)},
+      {"queue_ms", phases[Phase::kQueue]}};
+  if (phases[Phase::kFault] > 0.0) {
+    args.emplace_back("fault_ms", phases[Phase::kFault]);
+  }
   trace_.Slice("r" + std::to_string(req.id), dispatch_ms, service_ms, {},
-               {{"lbn", static_cast<double>(req.lbn)},
-                {"blocks", static_cast<double>(req.block_count)},
-                {"queue_ms", phases[Phase::kQueue]}});
+               std::move(args));
   TimeMs cursor = dispatch_ms;
   for (const Phase p : kSlicePhaseOrder) {
     const double dur = phases[p];
@@ -77,29 +86,153 @@ void Driver::TryDispatch() {
 
   const double penalty = pending_penalty_ms_;
   pending_penalty_ms_ = 0.0;
-  ServiceBreakdown bd;
-  const double service_ms = penalty + device_->ServiceRequest(req, now + penalty, &bd);
-  bd.EnsurePhases();
-  bd.phases[Phase::kQueue] = now - req.arrival_ms;
-  bd.phases[Phase::kOverhead] += penalty;
   busy_ = true;
-  sim_->ScheduleAfter(service_ms, [this, req, service_ms, now, phases = bd.phases] {
-    busy_ = false;
-    metrics_->RecordCompletion(req, sim_->NowMs(), service_ms, phases);
-    if (trace_.enabled()) {
-      EmitRequestTrace(req, now, service_ms, phases);
+  StartAttempt(req, /*attempt=*/0, /*fault_ms=*/0.0, penalty, now);
+}
+
+double Driver::ServiceAttempt(const Request& req, TimeMs start_ms,
+                              ServiceBreakdown* bd) {
+  if (fault_model_ == nullptr || req.background) {
+    const double ms = device_->ServiceRequest(req, start_ms, bd);
+    bd->EnsurePhases();
+    return ms;
+  }
+  // Route the logical extent through the current defect map. Undamaged (and
+  // spare-tip-remapped, §6.1.1) media maps identity, so the common case is a
+  // single extent equal to the request and services exactly like the plain
+  // path; slip/spare-region remapping splits into sub-extents serviced
+  // back-to-back.
+  std::vector<IoExtent> extents;
+  fault_model_->MapPhysical(req.lbn, req.block_count, &extents);
+  if (extents.size() == 1 && extents[0].lbn == req.lbn &&
+      extents[0].blocks == req.block_count) {
+    const double ms = device_->ServiceRequest(req, start_ms, bd);
+    bd->EnsurePhases();
+    return ms;
+  }
+  double total = 0.0;
+  for (const IoExtent& e : extents) {
+    Request sub = req;
+    sub.lbn = e.lbn;
+    sub.block_count = e.blocks;
+    ServiceBreakdown part;
+    const double ms = device_->ServiceRequest(sub, start_ms + total, &part);
+    part.EnsurePhases();
+    total += ms;
+    for (int i = 0; i < kPhaseCount; ++i) {
+      bd->phases.phase_ms[i] += part.phases.phase_ms[i];
     }
-    for (const auto& listener : on_complete_) {
-      listener(req, sim_->NowMs());
-    }
-    if (scheduler_->Empty()) {
-      for (const auto& listener : on_idle_) {
-        listener(sim_->NowMs());
+  }
+  return total;
+}
+
+void Driver::StartAttempt(Request req, int attempt, double fault_ms,
+                          double penalty_ms, TimeMs dispatch_ms) {
+  const TimeMs now = sim_->NowMs();
+  ServiceBreakdown bd;
+  const double service_ms = penalty_ms + ServiceAttempt(req, now + penalty_ms, &bd);
+  bd.phases[Phase::kOverhead] += penalty_ms;
+
+  double attempt_ms = service_ms;
+  if (fault_model_ != nullptr && !req.background && fault_model_->degraded()) {
+    // Spares exhausted: every access pays the device's degraded-mode
+    // surcharge (masked-tip extra row pass on MEMS, broken sequentiality on
+    // disk).
+    const double extra = device_->DegradedPenaltyMs();
+    attempt_ms += extra;
+    bd.phases[Phase::kFault] += extra;
+    metrics_->fault().degraded_ms += extra;
+  }
+
+  FaultType fate = FaultType::kNone;
+  if (fault_model_ != nullptr && !req.background) {
+    fate = fault_model_->JudgeAttempt(req, attempt);
+  }
+
+  if (fate == FaultType::kNone) {
+    bd.phases[Phase::kQueue] = dispatch_ms - req.arrival_ms;
+    bd.phases[Phase::kFault] += fault_ms;
+    const double total_ms = fault_ms + attempt_ms;
+    sim_->ScheduleAfter(attempt_ms,
+                        [this, req, dispatch_ms, total_ms, phases = bd.phases] {
+                          Complete(req, dispatch_ms, total_ms, phases);
+                        });
+    return;
+  }
+
+  // The attempt failed. The device time it burned — plus any wait beyond it
+  // (watchdog timeout, retry backoff) — becomes fault time for whatever
+  // attempt finally completes the request.
+  double extra_wait = 0.0;
+  switch (fate) {
+    case FaultType::kTransientError:
+      metrics_->fault().transient_errors++;
+      break;
+    case FaultType::kLostCompletion:
+      // The access happened but its completion never arrives; the host
+      // watchdog fires at timeout_ms after dispatch of this attempt.
+      metrics_->fault().timeouts++;
+      extra_wait = std::max(0.0, recovery_.timeout_ms - attempt_ms);
+      break;
+    case FaultType::kPermanentFailure:
+      metrics_->fault().permanent_faults++;
+      if (fault_model_->OnPermanentFault(req)) {
+        metrics_->fault().remaps++;
+        if (rebuild_sink_) {
+          rebuild_sink_(req.lbn, req.block_count);
+        }
       }
-    } else {
-      TryDispatch();
-    }
+      break;
+    case FaultType::kNone:
+      break;
+  }
+
+  if (attempt >= recovery_.max_retries) {
+    // Retry budget exhausted: complete the request marked failed so the
+    // workload can observe the error (and metrics count it).
+    req.failed = true;
+    metrics_->fault().failed_requests++;
+    bd.phases[Phase::kQueue] = dispatch_ms - req.arrival_ms;
+    bd.phases[Phase::kFault] += fault_ms + extra_wait;
+    const double total_ms = fault_ms + attempt_ms + extra_wait;
+    sim_->ScheduleAfter(attempt_ms + extra_wait,
+                        [this, req, dispatch_ms, total_ms, phases = bd.phases] {
+                          Complete(req, dispatch_ms, total_ms, phases);
+                        });
+    return;
+  }
+
+  metrics_->fault().retries++;
+  double backoff = 0.0;
+  if (fate != FaultType::kLostCompletion) {
+    // Linear backoff between retries; lost completions already waited out
+    // the watchdog timeout.
+    backoff = recovery_.retry_backoff_ms * static_cast<double>(attempt + 1);
+  }
+  const double wait = attempt_ms + extra_wait + backoff;
+  sim_->ScheduleAfter(wait, [this, req, attempt, fault_ms, wait, dispatch_ms] {
+    StartAttempt(req, attempt + 1, fault_ms + wait, /*penalty_ms=*/0.0,
+                 dispatch_ms);
   });
+}
+
+void Driver::Complete(const Request& req, TimeMs dispatch_ms, double total_ms,
+                      const PhaseBreakdown& phases) {
+  busy_ = false;
+  metrics_->RecordCompletion(req, sim_->NowMs(), total_ms, phases);
+  if (trace_.enabled()) {
+    EmitRequestTrace(req, dispatch_ms, total_ms, phases);
+  }
+  for (const auto& listener : on_complete_) {
+    listener(req, sim_->NowMs());
+  }
+  if (scheduler_->Empty()) {
+    for (const auto& listener : on_idle_) {
+      listener(sim_->NowMs());
+    }
+  } else {
+    TryDispatch();
+  }
 }
 
 }  // namespace mstk

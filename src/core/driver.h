@@ -5,11 +5,19 @@
 // simulator events (see ExperimentRunner). The driver keeps the device busy
 // with one request at a time — the single-spindle / single-sled model the
 // paper's experiments use.
+//
+// With EnableRecovery the driver also runs the §6 failure path: each dispatch
+// attempt is judged by a FaultModel, transient errors are retried with
+// bounded backoff, lost completions recover through a host timeout, and
+// permanent failures consume spares (remap) or push the device into degraded
+// mode. All fault time lands in Phase::kFault so the phase tiling invariant
+// (sum of service phases == service time) still holds.
 #ifndef MSTK_SRC_CORE_DRIVER_H_
 #define MSTK_SRC_CORE_DRIVER_H_
 
 #include <functional>
 
+#include "src/core/fault_model.h"
 #include "src/core/io_scheduler.h"
 #include "src/core/metrics.h"
 #include "src/core/request.h"
@@ -18,6 +26,13 @@
 #include "src/sim/trace_writer.h"
 
 namespace mstk {
+
+// Knobs for the driver's fault-recovery path (§6).
+struct RecoveryPolicy {
+  int max_retries = 3;            // failed attempts before the request fails
+  double retry_backoff_ms = 0.05; // linear backoff: (attempt+1) * backoff
+  double timeout_ms = 50.0;       // host watchdog for lost completions
+};
 
 class Driver {
  public:
@@ -30,6 +45,19 @@ class Driver {
 
   bool device_busy() const { return busy_; }
   int64_t queued() const { return scheduler_->size(); }
+
+  // Attaches a fault model: every foreground dispatch attempt is judged and
+  // recovered per `policy`. Background (rebuild) requests bypass injection.
+  void EnableRecovery(FaultModel* model, const RecoveryPolicy& policy) {
+    fault_model_ = model;
+    recovery_ = policy;
+  }
+
+  // Receives the extent of every remapped permanent fault, so a harness can
+  // queue background rebuild reads for the affected region.
+  void set_rebuild_sink(std::function<void(int64_t lbn, int32_t blocks)> sink) {
+    rebuild_sink_ = std::move(sink);
+  }
 
   // Fires when a request completes (closed-loop workloads, power policies,
   // background work). Multiple listeners fire in registration order.
@@ -65,6 +93,18 @@ class Driver {
 
  private:
   void TryDispatch();
+  // Runs one dispatch attempt of `req` at the current virtual time.
+  // `fault_ms` accumulates the time already burned by earlier failed
+  // attempts; `penalty_ms` is the dispatch penalty (first attempt only);
+  // `dispatch_ms` is when the request left the queue.
+  void StartAttempt(Request req, int attempt, double fault_ms, double penalty_ms,
+                    TimeMs dispatch_ms);
+  // Services the request's physical extents (post-remap) starting at
+  // `start_ms`; returns the device time and fills `bd`.
+  double ServiceAttempt(const Request& req, TimeMs start_ms, ServiceBreakdown* bd);
+  // Books completion: metrics, trace, listeners, next dispatch.
+  void Complete(const Request& req, TimeMs dispatch_ms, double total_ms,
+                const PhaseBreakdown& phases);
   void EmitRequestTrace(const Request& req, TimeMs dispatch_ms, double service_ms,
                         const PhaseBreakdown& phases) const;
 
@@ -78,6 +118,9 @@ class Driver {
   bool busy_ = false;
   double pending_penalty_ms_ = 0.0;
   TraceTrack trace_;
+  FaultModel* fault_model_ = nullptr;
+  RecoveryPolicy recovery_;
+  std::function<void(int64_t, int32_t)> rebuild_sink_;
 };
 
 }  // namespace mstk

@@ -10,11 +10,21 @@ void MetricsCollector::RecordArrival(const Request& req, TimeMs now_ms) {
 }
 
 void MetricsCollector::RecordDispatch(const Request& req, TimeMs now_ms, int64_t queue_depth) {
+  if (exclude_background_ && req.background) {
+    return;
+  }
   queue_time_.Add(now_ms - req.arrival_ms);
   queue_depth_.Add(static_cast<double>(queue_depth));
 }
 
 void MetricsCollector::RecordCompletion(const Request& req, TimeMs now_ms, double service_ms) {
+  if (req.background) {
+    fault_.rebuild_ios++;
+    fault_.rebuild_ms += service_ms;
+    if (exclude_background_) {
+      return;
+    }
+  }
   const double response_ms = now_ms - req.arrival_ms;
   response_time_.Add(response_ms);
   response_samples_.Add(response_ms);
@@ -25,6 +35,9 @@ void MetricsCollector::RecordCompletion(const Request& req, TimeMs now_ms, doubl
 void MetricsCollector::RecordCompletion(const Request& req, TimeMs now_ms, double service_ms,
                                         const PhaseBreakdown& phases) {
   RecordCompletion(req, now_ms, service_ms);
+  if (exclude_background_ && req.background) {
+    return;
+  }
   for (int i = 0; i < kPhaseCount; ++i) {
     phase_stats_[i].Add(phases.phase_ms[i]);
   }
@@ -40,6 +53,15 @@ void MetricsCollector::ExportTo(MetricsRegistry* registry) const {
     registry->Summary(std::string("phase_") + PhaseName(static_cast<Phase>(i)) + "_ms")
         .Merge(phase_stats_[i]);
   }
+  registry->Count("fault_transient_errors", fault_.transient_errors);
+  registry->Count("fault_timeouts", fault_.timeouts);
+  registry->Count("fault_retries", fault_.retries);
+  registry->Count("fault_permanent", fault_.permanent_faults);
+  registry->Count("fault_remaps", fault_.remaps);
+  registry->Count("fault_failed_requests", fault_.failed_requests);
+  registry->Count("fault_rebuild_ios", fault_.rebuild_ios);
+  registry->Summary("fault_rebuild_ms").Add(fault_.rebuild_ms);
+  registry->Summary("fault_degraded_ms").Add(fault_.degraded_ms);
 }
 
 }  // namespace mstk

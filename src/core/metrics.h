@@ -12,6 +12,21 @@
 
 namespace mstk {
 
+// Recovery-path accounting (§6): filled by the driver's fault machinery and
+// by completion bookkeeping for background rebuild traffic. All-zero when no
+// fault model is attached.
+struct FaultCounters {
+  int64_t transient_errors = 0;   // injected transient read errors observed
+  int64_t timeouts = 0;           // lost completions recovered by the watchdog
+  int64_t retries = 0;            // re-dispatched attempts (any fault type)
+  int64_t permanent_faults = 0;   // new permanent tip/sector failures
+  int64_t remaps = 0;             // permanent faults remapped onto spares
+  int64_t failed_requests = 0;    // retry budget exhausted; completed failed
+  int64_t rebuild_ios = 0;        // background rebuild requests completed
+  double rebuild_ms = 0.0;        // device time spent on rebuild I/O
+  double degraded_ms = 0.0;       // degraded-mode surcharge paid by requests
+};
+
 class MetricsCollector {
  public:
   // Called by the driver.
@@ -46,6 +61,17 @@ class MetricsCollector {
   int64_t completed() const { return response_time_.count(); }
   TimeMs last_completion_ms() const { return last_completion_ms_; }
 
+  // Fault-recovery accounting. The driver writes through the mutable
+  // accessor on its recovery path.
+  FaultCounters& fault() { return fault_; }
+  const FaultCounters& fault() const { return fault_; }
+
+  // When enabled, background requests (rebuilds) are excluded from the
+  // response/service/queue summaries — they only feed the rebuild counters —
+  // so fault experiments report foreground latency. Off by default: plain
+  // harnesses keep counting everything, as they always did.
+  void set_exclude_background(bool exclude) { exclude_background_ = exclude; }
+
   // Merges this run's metrics into a registry under stable names
   // ("response_ms", "phase_seek_x_ms", ...), so multi-trial harnesses can
   // aggregate with MetricsRegistry::Merge.
@@ -59,6 +85,8 @@ class MetricsCollector {
   SummaryStats phase_stats_[kPhaseCount];
   SampleSet response_samples_;
   TimeMs last_completion_ms_ = 0.0;
+  FaultCounters fault_;
+  bool exclude_background_ = false;
 };
 
 }  // namespace mstk

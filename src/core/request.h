@@ -20,6 +20,15 @@ struct Request {
 
   TimeMs arrival_ms = 0.0;
 
+  // Low-priority traffic injected by BackgroundRunner (rebuilds, scrubs).
+  // Background requests bypass fault injection and can be excluded from
+  // foreground response metrics (MetricsCollector::set_exclude_background).
+  bool background = false;
+
+  // Set by the driver when fault recovery exhausted its retry budget; the
+  // request still completes (listeners fire) but carries the failure.
+  bool failed = false;
+
   bool is_read() const { return type == IoType::kRead; }
   int64_t last_lbn() const { return lbn + block_count - 1; }
   int64_t bytes() const { return static_cast<int64_t>(block_count) * kBlockBytes; }

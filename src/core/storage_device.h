@@ -24,8 +24,10 @@ enum class Phase : int {
   kTurnaround,  // mid-transfer reversals / track & cylinder switches
   kTransfer,    // media transfer
   kOverhead,    // seek-error retries, restart penalties, command/ECC cost
+  kFault,       // driver-side fault recovery: failed attempts, retry backoff,
+                // lost-completion timeouts, degraded-mode surcharge (§6)
 };
-inline constexpr int kPhaseCount = 7;
+inline constexpr int kPhaseCount = 8;
 
 inline const char* PhaseName(Phase p) {
   switch (p) {
@@ -36,6 +38,7 @@ inline const char* PhaseName(Phase p) {
     case Phase::kTurnaround: return "turnaround";
     case Phase::kTransfer: return "transfer";
     case Phase::kOverhead: return "overhead";
+    case Phase::kFault: return "fault";
   }
   return "?";
 }
@@ -131,6 +134,13 @@ class StorageDevice {
   // rotation, so estimates depend only on the sled state. Time-dependent
   // models (disks) must leave this false.
   virtual bool PositioningIsTimeFree() const { return false; }
+
+  // Per-request latency surcharge once the device runs in degraded mode
+  // (spare pool exhausted, §6.1): the MEMS model pays an extra row pass with
+  // failed tips masked out; disks pay broken sequentiality (slip/spare-region
+  // seeks plus lost rotation). Charged by the driver, never by the device
+  // model itself, so fault-free runs are bit-identical to the old path.
+  virtual double DegradedPenaltyMs() const { return 0.0; }
 
   // Restores initial mechanical state and clears activity counters.
   virtual void Reset() = 0;

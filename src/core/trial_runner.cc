@@ -46,6 +46,18 @@ TrialMetrics MetricsFromExperiment(const ExperimentResult& result) {
     metrics.emplace_back(std::string("mean_") + PhaseName(p) + "_ms",
                          result.metrics.phase(p).mean());
   }
+  // Fault-recovery outcomes (all zero unless the trial attached a fault
+  // model; see Driver::EnableRecovery).
+  const FaultCounters& fc = result.metrics.fault();
+  metrics.emplace_back("fault_transient_errors", static_cast<double>(fc.transient_errors));
+  metrics.emplace_back("fault_timeouts", static_cast<double>(fc.timeouts));
+  metrics.emplace_back("fault_retries", static_cast<double>(fc.retries));
+  metrics.emplace_back("fault_permanent", static_cast<double>(fc.permanent_faults));
+  metrics.emplace_back("fault_remaps", static_cast<double>(fc.remaps));
+  metrics.emplace_back("fault_failed_requests", static_cast<double>(fc.failed_requests));
+  metrics.emplace_back("fault_rebuild_ios", static_cast<double>(fc.rebuild_ios));
+  metrics.emplace_back("fault_rebuild_ms", fc.rebuild_ms);
+  metrics.emplace_back("fault_degraded_ms", fc.degraded_ms);
   return metrics;
 }
 

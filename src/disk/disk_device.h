@@ -23,6 +23,11 @@ class DiskDevice : public StorageDevice {
   double ServiceRequest(const Request& req, TimeMs start_ms,
                         ServiceBreakdown* breakdown = nullptr) override;
   double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
+  // Degraded mode (§6.1.1, spares exhausted): slipped/spare-region accesses
+  // break sequentiality — roughly a short seek plus half a revolution.
+  double DegradedPenaltyMs() const override {
+    return seek_curve_.SeekMs(1) + 0.5 * rev_ms_;
+  }
   void Reset() override;
 
   // Seek errors (§6.1.3): with probability `rate` the head settles on the

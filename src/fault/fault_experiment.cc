@@ -1,0 +1,56 @@
+#include "src/fault/fault_experiment.h"
+
+#include <algorithm>
+
+#include "src/core/background.h"
+#include "src/sim/simulator.h"
+
+namespace mstk {
+
+ExperimentResult RunFaultInjectedOpenLoop(StorageDevice* device,
+                                          IoScheduler* scheduler,
+                                          const std::vector<Request>& requests,
+                                          const FaultRunConfig& config,
+                                          uint64_t fault_seed, TraceTrack trace) {
+  device->Reset();
+  scheduler->Reset();
+
+  Simulator sim;
+  ExperimentResult result;
+  result.metrics.set_exclude_background(true);
+  Driver driver(&sim, device, scheduler, &result.metrics);
+  driver.set_trace(trace);
+
+  FaultInjector injector(config.injector, device->CapacityBlocks(), fault_seed);
+  driver.EnableRecovery(&injector, config.recovery);
+
+  BackgroundRunner rebuilds(&sim, &driver, /*tasks=*/{},
+                            config.rebuild_idle_delay_ms);
+  const int64_t capacity = device->CapacityBlocks();
+  driver.set_rebuild_sink([&](int64_t lbn, int32_t blocks) {
+    // Rebuild the whole aligned region around the failed extent: the spare
+    // tip (or spare-region sectors) must be repopulated from the redundancy
+    // group, which means re-reading the surviving data nearby.
+    const int64_t region = std::max<int64_t>(config.rebuild_region_blocks, 1);
+    const int64_t chunk = std::max<int64_t>(config.rebuild_chunk_blocks, 1);
+    const int64_t base = (lbn / region) * region;
+    const int64_t end = std::min(capacity, std::max(base + region, lbn + blocks));
+    for (int64_t at = base; at < end; at += chunk) {
+      Request task;
+      task.type = IoType::kRead;
+      task.lbn = at;
+      task.block_count = static_cast<int32_t>(std::min<int64_t>(chunk, end - at));
+      rebuilds.Enqueue(task);
+    }
+  });
+
+  for (const Request& req : requests) {
+    sim.ScheduleAt(req.arrival_ms, [&driver, req] { driver.Submit(req); });
+  }
+  sim.Run();
+  result.makespan_ms = result.metrics.last_completion_ms();
+  result.activity = device->activity();
+  return result;
+}
+
+}  // namespace mstk

@@ -1,0 +1,50 @@
+// Open-loop experiment harness with online fault injection (§6).
+//
+// Same contract as RunOpenLoop, plus: a seeded FaultInjector judges every
+// foreground dispatch attempt, the driver recovers per RecoveryPolicy, and
+// each remapped permanent fault queues background rebuild reads for its
+// surrounding region through a BackgroundRunner (idle-time injection, so
+// rebuild traffic never preempts foreground requests). Foreground metrics
+// exclude the rebuild traffic; rebuild volume shows up in the fault
+// counters.
+#ifndef MSTK_SRC_FAULT_FAULT_EXPERIMENT_H_
+#define MSTK_SRC_FAULT_FAULT_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/driver.h"
+#include "src/core/experiment.h"
+#include "src/core/io_scheduler.h"
+#include "src/core/request.h"
+#include "src/core/storage_device.h"
+#include "src/fault/injector.h"
+#include "src/sim/trace_writer.h"
+
+namespace mstk {
+
+struct FaultRunConfig {
+  FaultInjectorConfig injector;
+  RecoveryPolicy recovery;
+  // Background rebuild: each remapped fault expands to reads covering its
+  // aligned `rebuild_region_blocks` region, issued in `rebuild_chunk_blocks`
+  // chunks whenever the device has been idle for `rebuild_idle_delay_ms`.
+  double rebuild_idle_delay_ms = 0.5;
+  int32_t rebuild_chunk_blocks = 64;
+  int32_t rebuild_region_blocks = 512;
+};
+
+// Runs the fault-injected open-loop experiment. `fault_seed` seeds the
+// injector's fault stream (derive it from the trial seed for multi-trial
+// determinism). The returned makespan is the last *foreground* completion;
+// rebuild I/O continues draining on idle until the event queue empties.
+ExperimentResult RunFaultInjectedOpenLoop(StorageDevice* device,
+                                          IoScheduler* scheduler,
+                                          const std::vector<Request>& requests,
+                                          const FaultRunConfig& config,
+                                          uint64_t fault_seed,
+                                          TraceTrack trace = {});
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_FAULT_FAULT_EXPERIMENT_H_

@@ -50,6 +50,9 @@ class MemsDevice : public StorageDevice {
                                 double* out_ms) const override;
   // No rotation: estimates depend only on the sled state, never on time.
   bool PositioningIsTimeFree() const override { return true; }
+  // Degraded mode (§6.1, spares exhausted): failed tips are masked out, so
+  // every access pays one extra row pass to cover the lost concurrency.
+  double DegradedPenaltyMs() const override { return RowPassMs(); }
   void Reset() override;
 
   // Seek errors (§6.1.3): with probability `rate` per request the servo

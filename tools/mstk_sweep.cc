@@ -20,6 +20,7 @@
 //   sched_random  Fig 6 matrix: 4 schedulers x 10 arrival rates
 //   sched_cello   Fig 7(a) matrix: 4 schedulers x 7 trace time scales
 //   sched_tpcc    Fig 7(b) matrix: 4 schedulers x 7 trace time scales
+//   faults        §6 online fault injection & recovery matrix (CI gate)
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -67,6 +68,44 @@ std::vector<SweepCell> BuildSweep(const std::string& name) {
   } else if (name == "sched_random") {
     add_rate_cells(std::vector<SchedKind>(std::begin(kAllScheds), std::end(kAllScheds)),
                    {200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000}, 10000);
+  } else if (name == "faults") {
+    // §6 recovery matrix: each cell stresses one leg of the fault path.
+    // Distinct seed offsets — the cells model different failure regimes, so
+    // sharing request streams buys no pairing.
+    auto add_fault_cell = [&cells](const std::string& label, int64_t offset,
+                                   SchedKind sched, double rate, int64_t count,
+                                   FaultRunConfig config, bool disk) {
+      cells.push_back({label, offset,
+                       [sched, rate, count, config, disk](uint64_t seed, TraceTrack trace) {
+                         return disk ? RunFaultedDiskTrial(sched, rate, count, config,
+                                                           seed, trace)
+                                     : RunFaultedRandomTrial(sched, rate, count, config,
+                                                             seed, trace);
+                       }});
+    };
+    FaultRunConfig transient;
+    transient.injector.transient_rate = 0.02;
+    transient.injector.lost_completion_rate = 0.002;
+    add_fault_cell("transient/SPTF", 100, SchedKind::kSptf, 600, 2000, transient, false);
+    FaultRunConfig remap;  // permanent failures absorbed by spare tips
+    remap.injector.permanent_rate = 0.005;
+    remap.injector.spares = 256;
+    add_fault_cell("remap_spare_tip/SPTF", 101, SchedKind::kSptf, 600, 2000, remap, false);
+    FaultRunConfig degraded;  // spares exhaust quickly -> degraded mode
+    degraded.injector.permanent_rate = 0.01;
+    degraded.injector.spares = 4;
+    add_fault_cell("degraded/SPTF", 102, SchedKind::kSptf, 600, 2000, degraded, false);
+    FaultRunConfig mixed;  // everything at once under FCFS at high load
+    mixed.injector.transient_rate = 0.02;
+    mixed.injector.permanent_rate = 0.002;
+    mixed.injector.lost_completion_rate = 0.002;
+    mixed.injector.spares = 32;
+    add_fault_cell("mixed/FCFS", 103, SchedKind::kFcfs, 1200, 2000, mixed, false);
+    FaultRunConfig disk_slip;  // disk-style slip remapping penalties
+    disk_slip.injector.permanent_rate = 0.005;
+    disk_slip.injector.spares = 128;
+    disk_slip.injector.remap_style = RemapStyle::kDiskSlip;
+    add_fault_cell("disk_slip/CLOOK", 104, SchedKind::kClook, 200, 800, disk_slip, true);
   } else if (name == "sched_cello" || name == "sched_tpcc") {
     const bool cello = name == "sched_cello";
     const std::vector<double> scales = cello
@@ -121,7 +160,7 @@ int Usage(const char* argv0) {
                "          [--trace PATH]\n"
                "       %s --list\n"
                "       %s [SWEEP] --selfcheck   (compare --jobs 1 vs parallel run)\n"
-               "sweeps: smoke sched_random sched_cello sched_tpcc\n",
+               "sweeps: smoke sched_random sched_cello sched_tpcc faults\n",
                argv0, argv0, argv0);
   return 2;
 }
@@ -158,7 +197,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(arg, "--list") == 0) {
-      std::printf("smoke\nsched_random\nsched_cello\nsched_tpcc\n");
+      std::printf("smoke\nsched_random\nsched_cello\nsched_tpcc\nfaults\n");
       return 0;
     } else if (std::strcmp(arg, "--trials") == 0) {
       trials = std::atoll(next());
