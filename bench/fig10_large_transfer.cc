@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     Request park;
     park.lbn = geom.Encode(MemsAddress{0, 0, 0, 0});
     park.block_count = 20;
-    mems.ServiceRequest(park, 0.0);
+    (void)mems.ServiceRequest(park, 0.0);
     Request req;
     req.lbn = geom.Encode(MemsAddress{distance, 0, 0, 0});
     req.block_count = kBlocks;
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     Request park;
     park.lbn = 0;
     park.block_count = 8;
-    disk.ServiceRequest(park, 0.0);
+    (void)disk.ServiceRequest(park, 0.0);
     Request req;
     req.lbn = disk.geometry().Encode(DiskAddress{distance, 0, 0});
     req.block_count = kBlocks;

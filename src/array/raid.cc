@@ -278,7 +278,7 @@ std::vector<RaidArray::MemberOp> RaidArray::PlanWrite(const Request& req) const 
   return ops;
 }
 
-double RaidArray::Execute(const std::vector<MemberOp>& ops, TimeMs start_ms,
+TimeMs RaidArray::Execute(const std::vector<MemberOp>& ops, TimeMs start_ms,
                           ServiceBreakdown* breakdown) {
   std::vector<double> ready(members_.size(), start_ms);
   // Row barrier: phase-2 ops of a row wait for all that row's phase-1 ops.
@@ -343,7 +343,7 @@ double RaidArray::Execute(const std::vector<MemberOp>& ops, TimeMs start_ms,
   return end - start_ms;
 }
 
-double RaidArray::ServiceRequest(const Request& req, TimeMs start_ms,
+TimeMs RaidArray::ServiceRequest(const Request& req, TimeMs start_ms,
                                  ServiceBreakdown* breakdown) {
   MSTK_CHECK(req.lbn >= 0 && req.last_lbn() < capacity_blocks_,
              "request outside array capacity");
@@ -361,7 +361,7 @@ double RaidArray::ServiceRequest(const Request& req, TimeMs start_ms,
   return total_ms;
 }
 
-double RaidArray::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
+TimeMs RaidArray::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
   // Time until every member involved in the first phase can start moving
   // data: the max of the members' first-op positioning estimates.
   const std::vector<MemberOp> ops =

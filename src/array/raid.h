@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/core/storage_device.h"
+#include "src/sim/units.h"
 
 namespace mstk {
 
@@ -44,12 +45,12 @@ class RaidArray : public StorageDevice {
 
   const char* name() const override { return name_.c_str(); }
   int64_t CapacityBlocks() const override { return capacity_blocks_; }
-  double ServiceRequest(const Request& req, TimeMs start_ms,
+  [[nodiscard]] double ServiceRequest(const Request& req, TimeMs start_ms,
                         ServiceBreakdown* breakdown = nullptr) override;
-  double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
+  [[nodiscard]] TimeMs EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
   // Degraded penalty of the slowest member: array operations fan out to all
   // members, so the worst member's surcharge bounds the array's.
-  double DegradedPenaltyMs() const override {
+  [[nodiscard]] TimeMs DegradedPenaltyMs() const override {
     double worst = 0.0;
     for (const StorageDevice* m : members_) {
       worst = std::max(worst, m->DegradedPenaltyMs());

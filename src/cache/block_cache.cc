@@ -27,7 +27,7 @@ void BlockCache::Touch(int64_t lbn) {
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
 }
 
-double BlockCache::BackingRead(int64_t lbn, int32_t blocks, TimeMs at_ms) {
+TimeMs BlockCache::BackingRead(int64_t lbn, int32_t blocks, TimeMs at_ms) {
   Request req;
   req.type = IoType::kRead;
   req.lbn = lbn;
@@ -35,7 +35,7 @@ double BlockCache::BackingRead(int64_t lbn, int32_t blocks, TimeMs at_ms) {
   return backing_->ServiceRequest(req, at_ms);
 }
 
-double BlockCache::BackingWrite(int64_t lbn, int32_t blocks, TimeMs at_ms) {
+TimeMs BlockCache::BackingWrite(int64_t lbn, int32_t blocks, TimeMs at_ms) {
   Request req;
   req.type = IoType::kWrite;
   req.lbn = lbn;
@@ -81,7 +81,7 @@ void BlockCache::Insert(int64_t lbn, bool dirty, TimeMs now_ms, double* cost_ms)
   entries_.emplace(lbn, Entry{lru_.begin(), dirty});
 }
 
-double BlockCache::ServiceRequest(const Request& req, TimeMs start_ms,
+TimeMs BlockCache::ServiceRequest(const Request& req, TimeMs start_ms,
                                   ServiceBreakdown* breakdown) {
   MSTK_CHECK(req.lbn >= 0 && req.last_lbn() < CapacityBlocks(),
              "request outside device capacity");
@@ -163,7 +163,7 @@ double BlockCache::ServiceRequest(const Request& req, TimeMs start_ms,
   return cost_ms;
 }
 
-double BlockCache::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
+TimeMs BlockCache::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
   if (!req.is_read() && config_.write_policy == WritePolicy::kWriteBack) {
     return config_.hit_overhead_ms;
   }
@@ -179,13 +179,15 @@ double BlockCache::EstimatePositioningMs(const Request& req, TimeMs at_ms) const
   return config_.hit_overhead_ms;  // fully cached
 }
 
-double BlockCache::FlushAll(TimeMs start_ms) {
+TimeMs BlockCache::FlushAll(TimeMs start_ms) {
   double cost_ms = 0.0;
   // Gather dirty blocks in LBN order and write them in coalesced runs —
-  // this is where a scheduler-friendly flush order pays off.
+  // this is where a scheduler-friendly flush order pays off. Walk the LRU
+  // list rather than the unordered map so no result can ever depend on
+  // hash-iteration order (mstk-lint rule D2 discipline).
   std::vector<int64_t> dirty;
-  for (const auto& [lbn, entry] : entries_) {
-    if (entry.dirty) {
+  for (const int64_t lbn : lru_) {
+    if (entries_.find(lbn)->second.dirty) {
       dirty.push_back(lbn);
     }
   }

@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "src/core/storage_device.h"
+#include "src/sim/units.h"
 
 namespace mstk {
 
@@ -30,7 +31,7 @@ struct BlockCacheConfig {
   int64_t capacity_blocks = 131072;  // 64 MB
   int32_t readahead_blocks = 0;      // 0 disables prefetch
   WritePolicy write_policy = WritePolicy::kWriteThrough;
-  double hit_overhead_ms = 0.005;    // DRAM + software path per request
+  TimeMs hit_overhead_ms = 0.005;    // DRAM + software path per request
 };
 
 struct BlockCacheStats {
@@ -55,9 +56,9 @@ class BlockCache : public StorageDevice {
 
   const char* name() const override { return "cache"; }
   int64_t CapacityBlocks() const override { return backing_->CapacityBlocks(); }
-  double ServiceRequest(const Request& req, TimeMs start_ms,
+  [[nodiscard]] double ServiceRequest(const Request& req, TimeMs start_ms,
                         ServiceBreakdown* breakdown = nullptr) override;
-  double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
+  [[nodiscard]] TimeMs EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
   void Reset() override;
 
   // Writes back all dirty blocks; returns the time it took (ms).
@@ -76,7 +77,7 @@ class BlockCache : public StorageDevice {
   void Touch(int64_t lbn);
   // Inserts (or refreshes) a block; evictions may issue backing writes,
   // whose time is added to *cost_ms.
-  void Insert(int64_t lbn, bool dirty, TimeMs now_ms, double* cost_ms);
+  void Insert(int64_t lbn, bool dirty, TimeMs now_ms, TimeMs* cost_ms);
   double BackingRead(int64_t lbn, int32_t blocks, TimeMs at_ms);
   double BackingWrite(int64_t lbn, int32_t blocks, TimeMs at_ms);
 

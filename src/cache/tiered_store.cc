@@ -33,7 +33,7 @@ void TieredStore::Reset() {
   activity_ = DeviceActivity{};
 }
 
-double TieredStore::EvictOne(TimeMs now) {
+TimeMs TieredStore::EvictOne(TimeMs now) {
   MSTK_CHECK(!lru_.empty(), "evicting from an empty fast tier");
   const int64_t victim = lru_.back();
   lru_.pop_back();
@@ -57,7 +57,7 @@ double TieredStore::EvictOne(TimeMs now) {
   return cost;
 }
 
-double TieredStore::EnsureResident(int64_t ext, bool for_write, bool fetch_from_slow,
+TimeMs TieredStore::EnsureResident(int64_t ext, bool for_write, bool fetch_from_slow,
                                    TimeMs now) {
   auto it = map_.find(ext);
   if (it != map_.end()) {
@@ -91,7 +91,7 @@ double TieredStore::EnsureResident(int64_t ext, bool for_write, bool fetch_from_
   return cost;
 }
 
-double TieredStore::ServiceRequest(const Request& req, TimeMs start_ms,
+TimeMs TieredStore::ServiceRequest(const Request& req, TimeMs start_ms,
                                    ServiceBreakdown* breakdown) {
   MSTK_CHECK(req.lbn >= 0 && req.last_lbn() < CapacityBlocks(),
              "request outside device capacity");
@@ -171,7 +171,7 @@ double TieredStore::ServiceRequest(const Request& req, TimeMs start_ms,
   return cost;
 }
 
-double TieredStore::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
+TimeMs TieredStore::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
   const int64_t first = req.lbn / config_.extent_blocks;
   if (map_.find(first) != map_.end()) {
     Request sub = req;

@@ -23,6 +23,7 @@
 #include <unordered_map>
 
 #include "src/core/storage_device.h"
+#include "src/sim/units.h"
 
 namespace mstk {
 
@@ -58,9 +59,9 @@ class TieredStore : public StorageDevice {
 
   const char* name() const override { return "tiered"; }
   int64_t CapacityBlocks() const override { return slow_->CapacityBlocks(); }
-  double ServiceRequest(const Request& req, TimeMs start_ms,
+  [[nodiscard]] double ServiceRequest(const Request& req, TimeMs start_ms,
                         ServiceBreakdown* breakdown = nullptr) override;
-  double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
+  [[nodiscard]] TimeMs EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
   void Reset() override;
 
   const TieredStoreStats& stats() const { return stats_; }

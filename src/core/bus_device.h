@@ -14,12 +14,13 @@
 #include <algorithm>
 
 #include "src/core/storage_device.h"
+#include "src/sim/units.h"
 
 namespace mstk {
 
 struct BusParams {
   double bandwidth_mb_s = 80.0;     // Ultra2 SCSI
-  double command_overhead_ms = 0.05;  // per-request protocol + firmware time
+  TimeMs command_overhead_ms = 0.05;  // per-request protocol + firmware time
   bool speed_matching_buffer = true;  // overlap bus and media transfer
 
   static BusParams Ultra2() { return {80.0, 0.05, true}; }
@@ -35,19 +36,19 @@ class BusDevice : public StorageDevice {
   const char* name() const override { return "bus"; }
   int64_t CapacityBlocks() const override { return inner_->CapacityBlocks(); }
 
-  double ServiceRequest(const Request& req, TimeMs start_ms,
+  [[nodiscard]] double ServiceRequest(const Request& req, TimeMs start_ms,
                         ServiceBreakdown* breakdown = nullptr) override {
     ServiceBreakdown inner_bd;
-    const double mech_ms = inner_->ServiceRequest(req, start_ms, &inner_bd);
+    const TimeMs mech_ms = inner_->ServiceRequest(req, start_ms, &inner_bd);
     inner_bd.EnsurePhases();
-    const double bus_ms =
+    const TimeMs bus_ms =
         static_cast<double>(req.bytes()) / (params_.bandwidth_mb_s * 1e3);
     double total;
-    double bus_transfer_ms;  // bus time not hidden behind the media transfer
+    TimeMs bus_transfer_ms;  // bus time not hidden behind the media transfer
     if (params_.speed_matching_buffer) {
       // The buffer overlaps the two transfers: the slower one paces the
       // request, the positioning and protocol overheads do not overlap.
-      const double media_ms = inner_bd.transfer_ms + inner_bd.extra_ms;
+      const TimeMs media_ms = inner_bd.transfer_ms + inner_bd.extra_ms;
       total = params_.command_overhead_ms + inner_bd.positioning_ms +
               std::max(media_ms, bus_ms);
       bus_transfer_ms = std::max(0.0, bus_ms - media_ms);
@@ -77,12 +78,12 @@ class BusDevice : public StorageDevice {
     return total;
   }
 
-  double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override {
+  [[nodiscard]] TimeMs EstimatePositioningMs(const Request& req, TimeMs at_ms) const override {
     return params_.command_overhead_ms + inner_->EstimatePositioningMs(req, at_ms);
   }
 
   void EstimatePositioningBatch(const Request* reqs, int64_t count, TimeMs at_ms,
-                                double* out_ms) const override {
+                                TimeMs* out_ms) const override {
     inner_->EstimatePositioningBatch(reqs, count, at_ms, out_ms);
     for (int64_t i = 0; i < count; ++i) {
       out_ms[i] += params_.command_overhead_ms;

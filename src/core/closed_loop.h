@@ -15,12 +15,13 @@
 #include "src/core/io_scheduler.h"
 #include "src/core/metrics.h"
 #include "src/core/storage_device.h"
+#include "src/sim/units.h"
 
 namespace mstk {
 
 struct ClosedLoopConfig {
   int mpl = 8;              // concurrent logical processes
-  double think_ms = 0.0;    // delay between completion and next submission
+  TimeMs think_ms = 0.0;    // delay between completion and next submission
   int64_t request_count = 10000;  // total requests across all processes
 };
 
@@ -34,7 +35,7 @@ struct ClosedLoopResult {
                ? static_cast<double>(metrics.completed()) / (makespan_ms / 1000.0)
                : 0.0;
   }
-  double MeanResponseMs() const { return metrics.response_time().mean(); }
+  TimeMs MeanResponseMs() const { return metrics.response_time().mean(); }
 };
 
 // `next_request` is called once per submission (sequence number argument);

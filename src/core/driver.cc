@@ -47,7 +47,7 @@ void Driver::Submit(const Request& req) {
 }
 
 void Driver::EmitRequestTrace(const Request& req, TimeMs dispatch_ms,
-                              double service_ms,
+                              TimeMs service_ms,
                               const PhaseBreakdown& phases) const {
   // Parent slice spans [dispatch, completion]; phase slices tile it in
   // canonical order (their durations sum to the service time) and nest
@@ -59,8 +59,11 @@ void Driver::EmitRequestTrace(const Request& req, TimeMs dispatch_ms,
   if (phases[Phase::kFault] > 0.0) {
     args.emplace_back("fault_ms", phases[Phase::kFault]);
   }
-  trace_.Slice("r" + std::to_string(req.id), dispatch_ms, service_ms, {},
-               std::move(args));
+  // Build the label via append (not `const char* + std::string&&`), which
+  // also dodges GCC 12's bogus -Wrestrict on the inlined operator+ path.
+  std::string label("r");
+  label += std::to_string(req.id);
+  trace_.Slice(label, dispatch_ms, service_ms, {}, std::move(args));
   TimeMs cursor = dispatch_ms;
   for (const Phase p : kSlicePhaseOrder) {
     const double dur = phases[p];
@@ -90,7 +93,7 @@ void Driver::TryDispatch() {
   StartAttempt(req, /*attempt=*/0, /*fault_ms=*/0.0, penalty, now);
 }
 
-double Driver::ServiceAttempt(const Request& req, TimeMs start_ms,
+TimeMs Driver::ServiceAttempt(const Request& req, TimeMs start_ms,
                               ServiceBreakdown* bd) {
   if (fault_model_ == nullptr || req.background) {
     const double ms = device_->ServiceRequest(req, start_ms, bd);

@@ -24,14 +24,15 @@
 #include "src/core/storage_device.h"
 #include "src/sim/simulator.h"
 #include "src/sim/trace_writer.h"
+#include "src/sim/units.h"
 
 namespace mstk {
 
 // Knobs for the driver's fault-recovery path (§6).
 struct RecoveryPolicy {
   int max_retries = 3;            // failed attempts before the request fails
-  double retry_backoff_ms = 0.05; // linear backoff: (attempt+1) * backoff
-  double timeout_ms = 50.0;       // host watchdog for lost completions
+  TimeMs retry_backoff_ms = 0.05; // linear backoff: (attempt+1) * backoff
+  TimeMs timeout_ms = 50.0;       // host watchdog for lost completions
 };
 
 class Driver {
@@ -83,7 +84,7 @@ class Driver {
 
   // Extra latency (ms) to charge before the next dispatch — used by power
   // policies to model restart-from-idle penalties. Consumed by one dispatch.
-  void AddDispatchPenalty(double penalty_ms) { pending_penalty_ms_ += penalty_ms; }
+  void AddDispatchPenalty(TimeMs penalty_ms) { pending_penalty_ms_ += penalty_ms; }
 
   // Attaches a trace track; every completed request then emits a slice with
   // nested per-phase child slices, plus queue-depth counter samples. A
@@ -97,15 +98,15 @@ class Driver {
   // `fault_ms` accumulates the time already burned by earlier failed
   // attempts; `penalty_ms` is the dispatch penalty (first attempt only);
   // `dispatch_ms` is when the request left the queue.
-  void StartAttempt(Request req, int attempt, double fault_ms, double penalty_ms,
+  void StartAttempt(Request req, int attempt, TimeMs fault_ms, TimeMs penalty_ms,
                     TimeMs dispatch_ms);
   // Services the request's physical extents (post-remap) starting at
   // `start_ms`; returns the device time and fills `bd`.
-  double ServiceAttempt(const Request& req, TimeMs start_ms, ServiceBreakdown* bd);
+  [[nodiscard]] double ServiceAttempt(const Request& req, TimeMs start_ms, ServiceBreakdown* bd);
   // Books completion: metrics, trace, listeners, next dispatch.
-  void Complete(const Request& req, TimeMs dispatch_ms, double total_ms,
+  void Complete(const Request& req, TimeMs dispatch_ms, TimeMs total_ms,
                 const PhaseBreakdown& phases);
-  void EmitRequestTrace(const Request& req, TimeMs dispatch_ms, double service_ms,
+  void EmitRequestTrace(const Request& req, TimeMs dispatch_ms, TimeMs service_ms,
                         const PhaseBreakdown& phases) const;
 
   Simulator* sim_;

@@ -11,6 +11,7 @@
 #include "src/core/request.h"
 #include "src/core/storage_device.h"
 #include "src/sim/trace_writer.h"
+#include "src/sim/units.h"
 
 namespace mstk {
 
@@ -20,8 +21,8 @@ struct ExperimentResult {
   TimeMs makespan_ms = 0.0;
   DeviceActivity activity;
 
-  double MeanResponseMs() const { return metrics.response_time().mean(); }
-  double MeanServiceMs() const { return metrics.service_time().mean(); }
+  TimeMs MeanResponseMs() const { return metrics.response_time().mean(); }
+  TimeMs MeanServiceMs() const { return metrics.service_time().mean(); }
   double ResponseScv() const { return metrics.ResponseScv(); }
 };
 

@@ -23,8 +23,8 @@ struct FaultCounters {
   int64_t remaps = 0;             // permanent faults remapped onto spares
   int64_t failed_requests = 0;    // retry budget exhausted; completed failed
   int64_t rebuild_ios = 0;        // background rebuild requests completed
-  double rebuild_ms = 0.0;        // device time spent on rebuild I/O
-  double degraded_ms = 0.0;       // degraded-mode surcharge paid by requests
+  TimeMs rebuild_ms = 0.0;        // device time spent on rebuild I/O
+  TimeMs degraded_ms = 0.0;       // degraded-mode surcharge paid by requests
 };
 
 class MetricsCollector {
@@ -32,11 +32,11 @@ class MetricsCollector {
   // Called by the driver.
   void RecordArrival(const Request& req, TimeMs now_ms);
   void RecordDispatch(const Request& req, TimeMs now_ms, int64_t queue_depth);
-  void RecordCompletion(const Request& req, TimeMs now_ms, double service_ms);
+  void RecordCompletion(const Request& req, TimeMs now_ms, TimeMs service_ms);
   // As above, also folding the request's per-phase timings into the phase
   // summaries. The driver always uses this form; the three-argument overload
   // (no phase information available) leaves the phase summaries untouched.
-  void RecordCompletion(const Request& req, TimeMs now_ms, double service_ms,
+  void RecordCompletion(const Request& req, TimeMs now_ms, TimeMs service_ms,
                         const PhaseBreakdown& phases);
 
   // Response time = queue time + service time (the Fig 5a/6a metric).

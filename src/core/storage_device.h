@@ -47,13 +47,13 @@ inline const char* PhaseName(Phase p) {
 // interval [dispatch, completion]: their sum equals the recorded service
 // time (up to floating-point rounding of the per-phase unit conversions).
 struct PhaseBreakdown {
-  double phase_ms[kPhaseCount] = {};
+  TimeMs phase_ms[kPhaseCount] = {};
 
-  double& operator[](Phase p) { return phase_ms[static_cast<int>(p)]; }
-  double operator[](Phase p) const { return phase_ms[static_cast<int>(p)]; }
+  TimeMs& operator[](Phase p) { return phase_ms[static_cast<int>(p)]; }
+  TimeMs operator[](Phase p) const { return phase_ms[static_cast<int>(p)]; }
 
   // Sum of the service phases (everything except the queue wait).
-  double service_ms() const {
+  TimeMs service_ms() const {
     double sum = 0.0;
     for (int i = 1; i < kPhaseCount; ++i) {
       sum += phase_ms[i];
@@ -64,20 +64,22 @@ struct PhaseBreakdown {
 
 // Per-request service time decomposition (all in ms).
 struct ServiceBreakdown {
-  double positioning_ms = 0.0;  // initial seek (+ settle, + rotational latency)
-  double transfer_ms = 0.0;     // media transfer
-  double extra_ms = 0.0;        // mid-transfer turnarounds / head & track switches
+  TimeMs positioning_ms = 0.0;  // initial seek (+ settle, + rotational latency)
+  TimeMs transfer_ms = 0.0;     // media transfer
+  TimeMs extra_ms = 0.0;        // mid-transfer turnarounds / head & track switches
 
   // Finer per-phase split; primary device models fill it alongside the
   // coarse fields above.
   PhaseBreakdown phases;
 
-  double total_ms() const { return positioning_ms + transfer_ms + extra_ms; }
+  TimeMs total_ms() const { return positioning_ms + transfer_ms + extra_ms; }
 
   // Derives `phases` from the coarse fields when a device model did not
   // provide the finer split (composite devices: RAID, caches).
   void EnsurePhases() {
-    if (phases.service_ms() == 0.0 && total_ms() > 0.0) {
+    // "No phases filled yet" test: phase times are non-negative, so a zero
+    // sum means every entry is zero without comparing floats for equality.
+    if (!(phases.service_ms() > 0.0) && total_ms() > 0.0) {
       phases[Phase::kSeekX] = positioning_ms;
       phases[Phase::kTransfer] = transfer_ms;
       phases[Phase::kTurnaround] = extra_ms;
@@ -87,9 +89,9 @@ struct ServiceBreakdown {
 
 // Cumulative activity counters, for the power/energy accounting in §7.
 struct DeviceActivity {
-  double busy_ms = 0.0;
-  double positioning_ms = 0.0;
-  double transfer_ms = 0.0;
+  TimeMs busy_ms = 0.0;
+  TimeMs positioning_ms = 0.0;
+  TimeMs transfer_ms = 0.0;
   int64_t requests = 0;
   int64_t blocks_read = 0;
   int64_t blocks_written = 0;
@@ -107,19 +109,19 @@ class StorageDevice {
   // Services `req` starting at virtual time `start_ms`; advances the device's
   // mechanical state and returns the service duration in ms. When `breakdown`
   // is non-null it receives the component times.
-  virtual double ServiceRequest(const Request& req, TimeMs start_ms,
+  [[nodiscard]] virtual double ServiceRequest(const Request& req, TimeMs start_ms,
                                 ServiceBreakdown* breakdown = nullptr) = 0;
 
   // Positioning-delay estimate for greedy scheduling (SPTF): time until the
   // media transfer for `req` could begin if it were dispatched at `at_ms`.
   // Const: must not change device state.
-  virtual double EstimatePositioningMs(const Request& req, TimeMs at_ms) const = 0;
+  [[nodiscard]] virtual TimeMs EstimatePositioningMs(const Request& req, TimeMs at_ms) const = 0;
 
   // Batched form of EstimatePositioningMs with identical semantics and
   // results; device models may share per-state work across the batch (the
   // SPTF per-dispatch scan evaluates every pending request at once).
   virtual void EstimatePositioningBatch(const Request* reqs, int64_t count,
-                                        TimeMs at_ms, double* out_ms) const {
+                                        TimeMs at_ms, TimeMs* out_ms) const {
     for (int64_t i = 0; i < count; ++i) {
       out_ms[i] = EstimatePositioningMs(reqs[i], at_ms);
     }
@@ -140,7 +142,7 @@ class StorageDevice {
   // failed tips masked out; disks pay broken sequentiality (slip/spare-region
   // seeks plus lost rotation). Charged by the driver, never by the device
   // model itself, so fault-free runs are bit-identical to the old path.
-  virtual double DegradedPenaltyMs() const { return 0.0; }
+  [[nodiscard]] virtual TimeMs DegradedPenaltyMs() const { return 0.0; }
 
   // Restores initial mechanical state and clears activity counters.
   virtual void Reset() = 0;

@@ -49,7 +49,7 @@ void DiskDevice::EnableSeekErrors(double rate, uint64_t seed) {
 
 double DiskDevice::PhaseAt(TimeMs t_ms) const { return Frac(t_ms / rev_ms_); }
 
-double DiskDevice::PositioningToMs(const DiskAddress& addr, TimeMs at_ms) const {
+TimeMs DiskDevice::PositioningToMs(const DiskAddress& addr, TimeMs at_ms) const {
   const int64_t distance = std::abs(static_cast<int64_t>(addr.cylinder) - cylinder_);
   double mech = seek_curve_.SeekMs(distance);
   if (addr.head != head_) {
@@ -62,7 +62,7 @@ double DiskDevice::PositioningToMs(const DiskAddress& addr, TimeMs at_ms) const 
   return mech + wait;
 }
 
-double DiskDevice::ServiceRequest(const Request& req, TimeMs start_ms,
+TimeMs DiskDevice::ServiceRequest(const Request& req, TimeMs start_ms,
                                   ServiceBreakdown* breakdown) {
   MSTK_CHECK(req.lbn >= 0 && req.last_lbn() < CapacityBlocks(),
              "request outside device capacity");
@@ -147,7 +147,7 @@ double DiskDevice::ServiceRequest(const Request& req, TimeMs start_ms,
   return total_ms;
 }
 
-double DiskDevice::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
+TimeMs DiskDevice::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
   return PositioningToMs(geometry_.Decode(req.lbn), at_ms);
 }
 

@@ -11,6 +11,7 @@
 #include "src/disk/disk_geometry.h"
 #include "src/disk/seek_curve.h"
 #include "src/sim/rng.h"
+#include "src/sim/units.h"
 
 namespace mstk {
 
@@ -20,12 +21,12 @@ class DiskDevice : public StorageDevice {
 
   const char* name() const override { return "disk"; }
   int64_t CapacityBlocks() const override { return geometry_.capacity_blocks(); }
-  double ServiceRequest(const Request& req, TimeMs start_ms,
+  [[nodiscard]] double ServiceRequest(const Request& req, TimeMs start_ms,
                         ServiceBreakdown* breakdown = nullptr) override;
-  double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
+  [[nodiscard]] TimeMs EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
   // Degraded mode (§6.1.1, spares exhausted): slipped/spare-region accesses
   // break sequentiality — roughly a short seek plus half a revolution.
-  double DegradedPenaltyMs() const override {
+  [[nodiscard]] TimeMs DegradedPenaltyMs() const override {
     return seek_curve_.SeekMs(1) + 0.5 * rev_ms_;
   }
   void Reset() override;
@@ -43,7 +44,7 @@ class DiskDevice : public StorageDevice {
 
   // Mechanical positioning probe: seek + rotational latency to reach the
   // first sector of `addr` starting from the current state at time `at_ms`.
-  double PositioningToMs(const DiskAddress& addr, TimeMs at_ms) const;
+  TimeMs PositioningToMs(const DiskAddress& addr, TimeMs at_ms) const;
 
  private:
   // Rotational fraction [0,1) at absolute time t.

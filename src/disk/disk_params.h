@@ -8,6 +8,7 @@
 #define MSTK_SRC_DISK_DISK_PARAMS_H_
 
 #include <cstdint>
+#include "src/sim/units.h"
 
 namespace mstk {
 
@@ -19,16 +20,16 @@ struct DiskParams {
   int outer_sectors_per_track = 334;
   int inner_sectors_per_track = 229;
 
-  double single_cylinder_seek_ms = 0.8;
-  double average_seek_ms = 5.0;
-  double full_stroke_seek_ms = 10.9;
+  TimeMs single_cylinder_seek_ms = 0.8;
+  TimeMs average_seek_ms = 5.0;
+  TimeMs full_stroke_seek_ms = 10.9;
   // Head switch (including settle); overlaps the seek when both occur.
-  double head_switch_ms = 0.8;
+  TimeMs head_switch_ms = 0.8;
 
   // Spindle spin-up from rest (power management, §6.3/§7).
   double spinup_seconds = 25.0;
 
-  double revolution_ms() const { return 60000.0 / rpm; }
+  TimeMs revolution_ms() const { return 60000.0 / rpm; }
 };
 
 }  // namespace mstk

@@ -24,7 +24,7 @@ SeekCurve::SeekCurve(int cylinders, double single_ms, double average_ms, double 
   b_ = (s1 * r2 - s2 * r1) / det;
 }
 
-double SeekCurve::SeekMs(int64_t distance) const {
+TimeMs SeekCurve::SeekMs(int64_t distance) const {
   if (distance <= 0) {
     return 0.0;
   }

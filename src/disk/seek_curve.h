@@ -6,16 +6,17 @@
 #define MSTK_SRC_DISK_SEEK_CURVE_H_
 
 #include <cstdint>
+#include "src/sim/units.h"
 
 namespace mstk {
 
 class SeekCurve {
  public:
   // Fits the curve to the three calibration points.
-  SeekCurve(int cylinders, double single_ms, double average_ms, double full_ms);
+  SeekCurve(int cylinders, TimeMs single_ms, TimeMs average_ms, TimeMs full_ms);
 
   // Seek time in ms for a move of `distance` cylinders (>= 0).
-  double SeekMs(int64_t distance) const;
+  TimeMs SeekMs(int64_t distance) const;
 
   double a() const { return a_; }
   double b() const { return b_; }

@@ -20,6 +20,7 @@
 #include "src/core/storage_device.h"
 #include "src/fault/injector.h"
 #include "src/sim/trace_writer.h"
+#include "src/sim/units.h"
 
 namespace mstk {
 
@@ -29,7 +30,7 @@ struct FaultRunConfig {
   // Background rebuild: each remapped fault expands to reads covering its
   // aligned `rebuild_region_blocks` region, issued in `rebuild_chunk_blocks`
   // chunks whenever the device has been idle for `rebuild_idle_delay_ms`.
-  double rebuild_idle_delay_ms = 0.5;
+  TimeMs rebuild_idle_delay_ms = 0.5;
   int32_t rebuild_chunk_blocks = 64;
   int32_t rebuild_region_blocks = 512;
 };

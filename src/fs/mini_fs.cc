@@ -44,7 +44,7 @@ int64_t MiniFs::DirectoryLbn(FileId id) const {
 }
 
 
-double MiniFs::Io(IoType type, int64_t lbn, int32_t blocks, TimeMs now_ms) {
+TimeMs MiniFs::Io(IoType type, int64_t lbn, int32_t blocks, TimeMs now_ms) {
   Request req;
   req.type = type;
   req.lbn = config_.base_lbn + lbn;
@@ -52,7 +52,7 @@ double MiniFs::Io(IoType type, int64_t lbn, int32_t blocks, TimeMs now_ms) {
   return device_->ServiceRequest(req, now_ms);
 }
 
-double MiniFs::JournalAppend(TimeMs now_ms) {
+TimeMs MiniFs::JournalAppend(TimeMs now_ms) {
   if (!config_.journal) {
     return 0.0;
   }
@@ -61,14 +61,14 @@ double MiniFs::JournalAppend(TimeMs now_ms) {
   return Io(IoType::kWrite, lbn, 1, now_ms);
 }
 
-double MiniFs::WriteMetadata(const File& file, FileId id, TimeMs now_ms) {
+TimeMs MiniFs::WriteMetadata(const File& file, FileId id, TimeMs now_ms) {
   double cost = JournalAppend(now_ms);
   cost += Io(IoType::kWrite, file.inode_lbn, 1, now_ms + cost);
   cost += Io(IoType::kWrite, DirectoryLbn(id), 1, now_ms + cost);
   return cost;
 }
 
-double MiniFs::Create(FileId id, int64_t size_bytes, TimeMs now_ms) {
+TimeMs MiniFs::Create(FileId id, int64_t size_bytes, TimeMs now_ms) {
   if (Exists(id)) {
     return -1.0;
   }
@@ -100,11 +100,11 @@ double MiniFs::Create(FileId id, int64_t size_bytes, TimeMs now_ms) {
   return cost + data_cost;
 }
 
-double MiniFs::Read(FileId id, TimeMs now_ms) {
+TimeMs MiniFs::Read(FileId id, TimeMs now_ms) {
   return ReadAt(id, 0, -1, now_ms);
 }
 
-double MiniFs::ReadAt(FileId id, int64_t offset_blocks, int32_t blocks, TimeMs now_ms) {
+TimeMs MiniFs::ReadAt(FileId id, int64_t offset_blocks, int32_t blocks, TimeMs now_ms) {
   auto it = files_.find(id);
   if (it == files_.end()) {
     return -1.0;
@@ -157,7 +157,7 @@ double MiniFs::Overwrite(FileId id, TimeMs now_ms) {
   return cost + data_cost;
 }
 
-double MiniFs::Append(FileId id, int64_t size_bytes, TimeMs now_ms) {
+TimeMs MiniFs::Append(FileId id, int64_t size_bytes, TimeMs now_ms) {
   auto it = files_.find(id);
   if (it == files_.end()) {
     return -1.0;
@@ -182,7 +182,7 @@ double MiniFs::Append(FileId id, int64_t size_bytes, TimeMs now_ms) {
   return cost + data_cost;
 }
 
-double MiniFs::Remove(FileId id, TimeMs now_ms) {
+TimeMs MiniFs::Remove(FileId id, TimeMs now_ms) {
   auto it = files_.find(id);
   if (it == files_.end()) {
     return -1.0;

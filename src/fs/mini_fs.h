@@ -15,6 +15,7 @@
 
 #include "src/core/storage_device.h"
 #include "src/fs/allocator.h"
+#include "src/sim/units.h"
 
 namespace mstk {
 
@@ -34,8 +35,8 @@ struct MiniFsStats {
   int64_t removes = 0;
   int64_t reads = 0;
   int64_t writes = 0;
-  double metadata_ms = 0.0;  // inode + directory + journal device time
-  double data_ms = 0.0;      // file-content device time
+  TimeMs metadata_ms = 0.0;  // inode + directory + journal device time
+  TimeMs data_ms = 0.0;      // file-content device time
   int64_t data_extents = 0;  // fragmentation proxy: extents across live files
 };
 

@@ -31,12 +31,12 @@ void MemsDevice::EnableSeekErrors(double rate, uint64_t seed) {
   seek_error_rng_ = Rng(seed);
 }
 
-double MemsDevice::CylinderSeekMs(int32_t from_cyl, int32_t to_cyl) const {
+TimeMs MemsDevice::CylinderSeekMs(int32_t from_cyl, int32_t to_cyl) const {
   return SecondsToMs(
       kinematics_.SeekSeconds(geometry_.CylinderX(from_cyl), geometry_.CylinderX(to_cyl)));
 }
 
-double MemsDevice::TurnaroundMs(double y) const {
+TimeMs MemsDevice::TurnaroundMs(double y) const {
   return SecondsToMs(kinematics_.TurnaroundSeconds(y, v_access_));
 }
 
@@ -86,7 +86,7 @@ double MemsDevice::PositioningSeconds(const SledState& state, const Segment& seg
   return std::max(tx, ty);
 }
 
-double MemsDevice::ServiceRequest(const Request& req, TimeMs start_ms,
+TimeMs MemsDevice::ServiceRequest(const Request& req, TimeMs start_ms,
                                   ServiceBreakdown* breakdown) {
   (void)start_ms;  // the MEMS model has no time-dependent component (no rotation)
   MSTK_CHECK(req.lbn >= 0 && req.last_lbn() < CapacityBlocks(),
@@ -218,7 +218,7 @@ MemsDevice::Segment MemsDevice::FirstSegment(const Request& req) const {
                  std::max(addr.row, other_row)};
 }
 
-double MemsDevice::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
+TimeMs MemsDevice::EstimatePositioningMs(const Request& req, TimeMs at_ms) const {
   (void)at_ms;
   const Segment seg = FirstSegment(req);
   const double pos_up = PositioningSeconds(sled_, seg, +1);

@@ -40,19 +40,19 @@ class MemsDevice : public StorageDevice {
 
   const char* name() const override { return "mems"; }
   int64_t CapacityBlocks() const override { return geometry_.capacity_blocks(); }
-  double ServiceRequest(const Request& req, TimeMs start_ms,
+  [[nodiscard]] double ServiceRequest(const Request& req, TimeMs start_ms,
                         ServiceBreakdown* breakdown = nullptr) override;
-  double EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
+  [[nodiscard]] TimeMs EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
   // Shares the per-cylinder X-seek time across the batch (the X component
   // depends only on the target cylinder while the sled is at rest between
   // requests). Bit-identical to the scalar estimate.
   void EstimatePositioningBatch(const Request* reqs, int64_t count, TimeMs at_ms,
-                                double* out_ms) const override;
+                                TimeMs* out_ms) const override;
   // No rotation: estimates depend only on the sled state, never on time.
   bool PositioningIsTimeFree() const override { return true; }
   // Degraded mode (§6.1, spares exhausted): failed tips are masked out, so
   // every access pays one extra row pass to cover the lost concurrency.
-  double DegradedPenaltyMs() const override { return RowPassMs(); }
+  [[nodiscard]] TimeMs DegradedPenaltyMs() const override { return RowPassMs(); }
   void Reset() override;
 
   // Seek errors (§6.1.3): with probability `rate` per request the servo
@@ -71,13 +71,13 @@ class MemsDevice : public StorageDevice {
 
   // --- direct model probes (tests, Table 2, ablations) -------------------
   // Rest-to-rest X seek between cylinders, ms (no settle included).
-  double CylinderSeekMs(int32_t from_cyl, int32_t to_cyl) const;
+  TimeMs CylinderSeekMs(int32_t from_cyl, int32_t to_cyl) const;
   // Settling delay charged after any X motion, ms.
-  double SettleMs() const { return SecondsToMs(params().settle_seconds()); }
+  TimeMs SettleMs() const { return SecondsToMs(params().settle_seconds()); }
   // Turnaround at Y offset `y` moving at +/- access velocity, ms.
-  double TurnaroundMs(double y) const;
+  TimeMs TurnaroundMs(double y) const;
   // One row pass (smallest transfer quantum), ms.
-  double RowPassMs() const { return SecondsToMs(params().row_pass_seconds()); }
+  TimeMs RowPassMs() const { return SecondsToMs(params().row_pass_seconds()); }
 
  private:
   // A contiguous run of rows within one (cylinder, track).

@@ -91,7 +91,7 @@ struct MemsParams {
   double settle_seconds() const { return settle_constants * settle_time_constant_s(); }
 
   // Device startup/initialization time (§6.3: ~0.5 ms).
-  double startup_ms = 0.5;
+  TimeMs startup_ms = 0.5;
 
   // --- generation presets -----------------------------------------------
   // The paper's Table 1 device is the first-generation design. The CMU

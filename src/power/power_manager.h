@@ -14,6 +14,7 @@
 #include "src/core/io_scheduler.h"
 #include "src/core/storage_device.h"
 #include "src/power/power_params.h"
+#include "src/sim/units.h"
 
 namespace mstk {
 
@@ -25,18 +26,18 @@ struct PowerResult {
   double idle_j = 0.0;
   double standby_j = 0.0;
   // Time in each state, ms.
-  double active_ms = 0.0;
-  double startup_ms = 0.0;
-  double idle_ms = 0.0;
-  double standby_ms = 0.0;
+  TimeMs active_ms = 0.0;
+  TimeMs startup_ms = 0.0;
+  TimeMs idle_ms = 0.0;
+  TimeMs standby_ms = 0.0;
 
   int64_t restarts = 0;
-  double mean_response_ms = 0.0;
-  double makespan_ms = 0.0;
+  TimeMs mean_response_ms = 0.0;
+  TimeMs makespan_ms = 0.0;
 
   double total_j() const { return active_j + media_j + startup_j + idle_j + standby_j; }
   double mean_power_mw() const {
-    const double total_ms = active_ms + startup_ms + idle_ms + standby_ms;
+    const TimeMs total_ms = active_ms + startup_ms + idle_ms + standby_ms;
     return total_ms > 0.0 ? total_j() * 1e6 / total_ms : 0.0;
   }
 };

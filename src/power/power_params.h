@@ -2,6 +2,8 @@
 #ifndef MSTK_SRC_POWER_POWER_PARAMS_H_
 #define MSTK_SRC_POWER_POWER_PARAMS_H_
 
+#include "src/sim/units.h"
+
 namespace mstk {
 
 struct DevicePowerParams {
@@ -10,7 +12,7 @@ struct DevicePowerParams {
   double idle_mw = 0.0;     // ready (spinning / sled live) but not servicing
   double standby_mw = 0.0;  // spun down / parked, electronics mostly off
   double startup_mw = 0.0;  // during restart from standby
-  double restart_ms = 0.0;  // standby -> ready latency
+  TimeMs restart_ms = 0.0;  // standby -> ready latency
 
   // MEMS-based storage (§7): ~90% of active power goes to the probe tips
   // (sensing/recording) — modeled as media_mw charged only during media
@@ -42,22 +44,22 @@ enum class IdlePolicyKind {
 
 struct IdlePolicy {
   IdlePolicyKind kind = IdlePolicyKind::kAlwaysOn;
-  double timeout_ms = 0.0;  // kTimeoutIdle; initial value for kAdaptiveIdle
+  TimeMs timeout_ms = 0.0;  // kTimeoutIdle; initial value for kAdaptiveIdle
   // kAdaptiveIdle bounds: the timeout halves after a spin-down that paid
   // off (long standby) and doubles after one that did not (the restart
   // arrived within `regret_ms` of parking), clamped to [min, max].
-  double min_timeout_ms = 10.0;
-  double max_timeout_ms = 30000.0;
-  double regret_ms = 0.0;  // defaults to the device restart time when 0
+  TimeMs min_timeout_ms = 10.0;
+  TimeMs max_timeout_ms = 30000.0;
+  TimeMs regret_ms = 0.0;  // defaults to the device restart time when 0
 
   static IdlePolicy AlwaysOn() { return {IdlePolicyKind::kAlwaysOn, 0.0, 0, 0, 0}; }
   static IdlePolicy Immediate() {
     return {IdlePolicyKind::kImmediateIdle, 0.0, 0, 0, 0};
   }
-  static IdlePolicy Timeout(double ms) {
+  static IdlePolicy Timeout(TimeMs ms) {
     return {IdlePolicyKind::kTimeoutIdle, ms, 0, 0, 0};
   }
-  static IdlePolicy Adaptive(double initial_ms) {
+  static IdlePolicy Adaptive(TimeMs initial_ms) {
     IdlePolicy policy;
     policy.kind = IdlePolicyKind::kAdaptiveIdle;
     policy.timeout_ms = initial_ms;

@@ -27,6 +27,7 @@
 
 #include "src/core/io_scheduler.h"
 #include "src/core/storage_device.h"
+#include "src/sim/units.h"
 
 namespace mstk {
 
@@ -45,7 +46,7 @@ class SptfScheduler : public IoScheduler {
  protected:
   struct Pending {
     Request req;
-    double pos_ms = 0.0;  // cached positioning estimate
+    TimeMs pos_ms = 0.0;  // cached positioning estimate
     uint64_t epoch = 0;   // device StateEpoch() the estimate was taken at
     bool cached = false;
   };

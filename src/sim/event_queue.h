@@ -56,6 +56,9 @@ class EventQueue {
   };
   struct Later {
     bool operator()(const Key& a, const Key& b) const {
+      // Exact compare is intentional: (time, seq) must be a strict total
+      // order so equal-time events fire in insertion order.
+      // mstk-lint: allow(U2)
       if (a.time_ms != b.time_ms) {
         return a.time_ms > b.time_ms;
       }

@@ -28,8 +28,8 @@ class TraceWriter {
     char ph;           // 'X' slice, 'C' counter
     int tid;
     std::string name;
-    double start_ms;
-    double dur_ms;     // slices only
+    TimeMs start_ms;
+    TimeMs dur_ms;     // slices only
     double value;      // counters only
     std::string color; // trace-viewer reserved color name (cname); may be ""
     std::vector<std::pair<std::string, double>> args;
@@ -39,7 +39,7 @@ class TraceWriter {
   int AddTrack(const std::string& name);
   const std::vector<std::string>& tracks() const { return tracks_; }
 
-  void Slice(int tid, std::string_view name, TimeMs start_ms, double dur_ms,
+  void Slice(int tid, std::string_view name, TimeMs start_ms, TimeMs dur_ms,
              std::string_view color = {},
              std::vector<std::pair<std::string, double>> args = {});
   void Counter(int tid, std::string_view name, TimeMs at_ms, double value);
@@ -64,7 +64,7 @@ class TraceTrack {
 
   bool enabled() const { return writer_ != nullptr; }
 
-  void Slice(std::string_view name, TimeMs start_ms, double dur_ms,
+  void Slice(std::string_view name, TimeMs start_ms, TimeMs dur_ms,
              std::string_view color = {},
              std::vector<std::pair<std::string, double>> args = {}) const {
     if (writer_ != nullptr) {

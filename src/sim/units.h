@@ -18,8 +18,8 @@ inline constexpr double kSecondsPerMs = 1e-3;
 inline constexpr double kMetersPerMicrometer = 1e-6;
 inline constexpr double kMetersPerNanometer = 1e-9;
 
-constexpr double SecondsToMs(double seconds) { return seconds * kMsPerSecond; }
-constexpr double MsToSeconds(double ms) { return ms * kSecondsPerMs; }
+constexpr TimeMs SecondsToMs(double seconds) { return seconds * kMsPerSecond; }
+constexpr double MsToSeconds(TimeMs ms) { return ms * kSecondsPerMs; }
 constexpr double UmToMeters(double um) { return um * kMetersPerMicrometer; }
 constexpr double NmToMeters(double nm) { return nm * kMetersPerNanometer; }
 

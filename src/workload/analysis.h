@@ -10,19 +10,20 @@
 #include <vector>
 
 #include "src/core/request.h"
+#include "src/sim/units.h"
 
 namespace mstk {
 
 struct WorkloadProfile {
   int64_t requests = 0;
-  double duration_ms = 0.0;
+  TimeMs duration_ms = 0.0;
   double mean_rate_per_s = 0.0;
 
   double read_fraction = 0.0;
   double mean_bytes = 0.0;
   int64_t max_bytes = 0;
 
-  double interarrival_mean_ms = 0.0;
+  TimeMs interarrival_mean_ms = 0.0;
   // Squared coefficient of variation of interarrival times: 1 for Poisson,
   // >1 for bursty arrivals.
   double interarrival_scv = 0.0;

@@ -73,7 +73,7 @@ TEST(BusDeviceTest, EstimateIncludesOverheadAndResetPropagates) {
   const Request req = MakeRead(5000, 8);
   EXPECT_NEAR(bus.EstimatePositioningMs(req, 0.0),
               0.04 + raw.EstimatePositioningMs(req, 0.0), 1e-9);
-  bus.ServiceRequest(req, 0.0);
+  (void)bus.ServiceRequest(req, 0.0);
   bus.Reset();
   EXPECT_EQ(bus.activity().requests, 0);
   EXPECT_EQ(raw.activity().requests, 0);

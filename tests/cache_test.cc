@@ -36,9 +36,9 @@ TEST(BlockCacheTest, PartialHitFetchesOnlyMissingRun) {
   BlockCacheConfig config;
   config.capacity_blocks = 1024;
   BlockCache cache(config, &backing);
-  cache.ServiceRequest(MakeReq(100, 8), 0.0);
+  (void)cache.ServiceRequest(MakeReq(100, 8), 0.0);
   // Overlapping read: blocks 104..111; 104..107 cached, 108..111 missing.
-  cache.ServiceRequest(MakeReq(104, 8), 10.0);
+  (void)cache.ServiceRequest(MakeReq(104, 8), 10.0);
   EXPECT_EQ(cache.stats().blocks_hit, 4);
   EXPECT_EQ(cache.stats().blocks_missed, 12);
   EXPECT_EQ(backing.activity().blocks_read, 12);
@@ -49,15 +49,15 @@ TEST(BlockCacheTest, LruEvictsOldest) {
   BlockCacheConfig config;
   config.capacity_blocks = 16;
   BlockCache cache(config, &backing);
-  cache.ServiceRequest(MakeReq(0, 8), 0.0);    // A
-  cache.ServiceRequest(MakeReq(100, 8), 1.0);  // B — cache full
-  cache.ServiceRequest(MakeReq(0, 8), 2.0);    // touch A
-  cache.ServiceRequest(MakeReq(200, 8), 3.0);  // evicts B (LRU)
+  (void)cache.ServiceRequest(MakeReq(0, 8), 0.0);    // A
+  (void)cache.ServiceRequest(MakeReq(100, 8), 1.0);  // B — cache full
+  (void)cache.ServiceRequest(MakeReq(0, 8), 2.0);    // touch A
+  (void)cache.ServiceRequest(MakeReq(200, 8), 3.0);  // evicts B (LRU)
   EXPECT_EQ(cache.resident_blocks(), 16);
   const int64_t missed_before = cache.stats().blocks_missed;
-  cache.ServiceRequest(MakeReq(0, 8), 4.0);  // A still resident
+  (void)cache.ServiceRequest(MakeReq(0, 8), 4.0);  // A still resident
   EXPECT_EQ(cache.stats().blocks_missed, missed_before);
-  cache.ServiceRequest(MakeReq(100, 8), 5.0);  // B was evicted
+  (void)cache.ServiceRequest(MakeReq(100, 8), 5.0);  // B was evicted
   EXPECT_EQ(cache.stats().blocks_missed, missed_before + 8);
 }
 
@@ -67,9 +67,9 @@ TEST(BlockCacheTest, SequentialReadahead) {
   config.capacity_blocks = 4096;
   config.readahead_blocks = 64;
   BlockCache cache(config, &backing);
-  cache.ServiceRequest(MakeReq(1000, 8), 0.0);   // not sequential yet
+  (void)cache.ServiceRequest(MakeReq(1000, 8), 0.0);   // not sequential yet
   EXPECT_EQ(cache.stats().blocks_prefetched, 0);
-  cache.ServiceRequest(MakeReq(1008, 8), 1.0);   // sequential: prefetch fires
+  (void)cache.ServiceRequest(MakeReq(1008, 8), 1.0);   // sequential: prefetch fires
   EXPECT_EQ(cache.stats().blocks_prefetched, 64);
   // The next several sequential reads are pure hits.
   const double hit = cache.ServiceRequest(MakeReq(1016, 8), 2.0);
@@ -82,9 +82,9 @@ TEST(BlockCacheTest, ReadaheadNotTriggeredByRandomReads) {
   config.capacity_blocks = 4096;
   config.readahead_blocks = 64;
   BlockCache cache(config, &backing);
-  cache.ServiceRequest(MakeReq(1000, 8), 0.0);
-  cache.ServiceRequest(MakeReq(50000, 8), 1.0);
-  cache.ServiceRequest(MakeReq(9000, 8), 2.0);
+  (void)cache.ServiceRequest(MakeReq(1000, 8), 0.0);
+  (void)cache.ServiceRequest(MakeReq(50000, 8), 1.0);
+  (void)cache.ServiceRequest(MakeReq(9000, 8), 2.0);
   EXPECT_EQ(cache.stats().blocks_prefetched, 0);
 }
 
@@ -123,10 +123,10 @@ TEST(BlockCacheTest, WriteBackEvictionFlushesDirtyRun) {
   config.capacity_blocks = 16;
   config.write_policy = WritePolicy::kWriteBack;
   BlockCache cache(config, &backing);
-  cache.ServiceRequest(MakeReq(0, 16, IoType::kWrite), 0.0);
+  (void)cache.ServiceRequest(MakeReq(0, 16, IoType::kWrite), 0.0);
   EXPECT_EQ(backing.activity().blocks_written, 0);
   // Displace everything with reads; dirty blocks must reach the device.
-  cache.ServiceRequest(MakeReq(10000, 16), 1.0);
+  (void)cache.ServiceRequest(MakeReq(10000, 16), 1.0);
   EXPECT_EQ(backing.activity().blocks_written, 16);
 }
 
@@ -136,7 +136,7 @@ TEST(BlockCacheTest, EstimateReflectsResidency) {
   BlockCache cache(config, &backing);
   const Request req = MakeReq(500, 8);
   EXPECT_GT(cache.EstimatePositioningMs(req, 0.0), 0.01);  // cold: device time
-  cache.ServiceRequest(req, 0.0);
+  (void)cache.ServiceRequest(req, 0.0);
   EXPECT_NEAR(cache.EstimatePositioningMs(req, 1.0), config.hit_overhead_ms, 1e-9);
 }
 
@@ -145,8 +145,8 @@ TEST(BlockCacheTest, ResetClearsEverything) {
   BlockCacheConfig config;
   config.write_policy = WritePolicy::kWriteBack;
   BlockCache cache(config, &backing);
-  cache.ServiceRequest(MakeReq(0, 8, IoType::kWrite), 0.0);
-  cache.ServiceRequest(MakeReq(100, 8), 1.0);
+  (void)cache.ServiceRequest(MakeReq(0, 8, IoType::kWrite), 0.0);
+  (void)cache.ServiceRequest(MakeReq(100, 8), 1.0);
   cache.Reset();
   EXPECT_EQ(cache.resident_blocks(), 0);
   EXPECT_EQ(cache.stats().read_requests, 0);
@@ -167,7 +167,7 @@ TEST(BlockCacheTest, RandomizedConsistencyAgainstDirectDevice) {
   for (int i = 0; i < 2000; ++i) {
     const int64_t lbn = rng.UniformInt(100000);
     const int32_t blocks = 1 + static_cast<int32_t>(rng.UniformInt(16));
-    cache.ServiceRequest(
+    (void)cache.ServiceRequest(
         MakeReq(lbn, blocks, rng.Bernoulli(0.5) ? IoType::kRead : IoType::kWrite), i);
     distinct_estimate += blocks;
   }

@@ -92,7 +92,7 @@ TEST(CompositionTest, ResetCascadesThroughStack) {
   Request req;
   req.lbn = 1000;
   req.block_count = 8;
-  cache.ServiceRequest(req, 0.0);
+  (void)cache.ServiceRequest(req, 0.0);
   EXPECT_GT(raw.activity().requests, 0);
   cache.Reset();
   EXPECT_EQ(raw.activity().requests, 0);

@@ -84,7 +84,7 @@ TEST(DiskDeviceTest, SequentialTransferAtMediaRate) {
   // Reading a full outer track takes one revolution of transfer.
   const int spt = device.geometry().SectorsPerTrack(0);
   ServiceBreakdown breakdown;
-  device.ServiceRequest(MakeRead(0, spt), 0.0, &breakdown);
+  (void)device.ServiceRequest(MakeRead(0, spt), 0.0, &breakdown);
   EXPECT_NEAR(breakdown.transfer_ms, device.params().revolution_ms(), 0.01);
   // Outer-zone streaming ~28.5 MB/s (§5.2).
   const double mb_per_s = spt * 512.0 / 1e6 / (breakdown.transfer_ms / 1e3);
@@ -97,7 +97,7 @@ TEST(DiskDeviceTest, RereadCostsFullRotation) {
   // rest of the revolution. (LBN 0 keeps the run inside one track.)
   const double t1 = device.ServiceRequest(MakeRead(0, 8), 0.0);
   ServiceBreakdown breakdown;
-  device.ServiceRequest(MakeRead(0, 8), t1, &breakdown);
+  (void)device.ServiceRequest(MakeRead(0, 8), t1, &breakdown);
   const double rev = device.params().revolution_ms();
   const double transfer = 8.0 / device.geometry().SectorsPerTrack(0) * rev;
   EXPECT_NEAR(breakdown.positioning_ms, rev - transfer, 0.01);
@@ -108,7 +108,7 @@ TEST(DiskDeviceTest, FullTrackRereadIsImmediate) {
   const int spt = device.geometry().SectorsPerTrack(0);
   const double t1 = device.ServiceRequest(MakeRead(0, spt), 0.0);
   ServiceBreakdown breakdown;
-  device.ServiceRequest(MakeRead(0, spt), t1, &breakdown);
+  (void)device.ServiceRequest(MakeRead(0, spt), t1, &breakdown);
   // After a full-track read the head is right back at the start: Table 2
   // reports 0.00 ms reposition for the 334-sector read-modify-write.
   EXPECT_LT(breakdown.positioning_ms, 0.02);
@@ -134,7 +134,7 @@ TEST(DiskDeviceTest, TrackBoundaryCrossingUsesSkew) {
   // Read across the first track boundary: the head switch plus skew should
   // cost roughly the head-switch time, not a full extra rotation.
   ServiceBreakdown breakdown;
-  device.ServiceRequest(MakeRead(0, spt + 10), 0.0, &breakdown);
+  (void)device.ServiceRequest(MakeRead(0, spt + 10), 0.0, &breakdown);
   EXPECT_GT(breakdown.extra_ms, device.params().head_switch_ms - 0.01);
   EXPECT_LT(breakdown.extra_ms, device.params().head_switch_ms + 1.0);
 }
@@ -184,7 +184,7 @@ TEST(DiskDeviceTest, PhaseBreakdownTilesServiceTime) {
 
 TEST(DiskDeviceTest, ResetRestoresState) {
   DiskDevice device;
-  device.ServiceRequest(MakeRead(device.CapacityBlocks() - 100, 8), 0.0);
+  (void)device.ServiceRequest(MakeRead(device.CapacityBlocks() - 100, 8), 0.0);
   EXPECT_GT(device.current_cylinder(), 0);
   device.Reset();
   EXPECT_EQ(device.current_cylinder(), 0);

@@ -45,7 +45,7 @@ TEST(TieredStoreEdgeTest, EstimateRoutesByResidency) {
   req.block_count = 8;
   // Cold: disk-class estimate.
   EXPECT_GT(store.EstimatePositioningMs(req, 0.0), 1.0);
-  store.ServiceRequest(req, 0.0);
+  (void)store.ServiceRequest(req, 0.0);
   // Warm: MEMS-class estimate.
   EXPECT_LT(store.EstimatePositioningMs(req, 10.0), 1.0);
 }
@@ -85,7 +85,7 @@ TEST(RaidEdgeTest, MultiRowRaid5WriteTouchesEveryRowsParity) {
   req.type = IoType::kWrite;
   req.lbn = 64 * 4 - 32;  // last half-unit of row 0 + first of row 1
   req.block_count = 64;
-  raid.ServiceRequest(req, 0.0);
+  (void)raid.ServiceRequest(req, 0.0);
   // Both rows' parity members wrote.
   const int p0 = raid.Raid5ParityMember(0);
   const int p1 = raid.Raid5ParityMember(1);

@@ -121,7 +121,7 @@ TEST(IntegrationTest, Fig10LargeTransferPenaltySmall) {
   Request park;
   park.lbn = 0;
   park.block_count = 20;
-  mems.ServiceRequest(park, 0.0);
+  (void)mems.ServiceRequest(park, 0.0);
   MemsDevice near_dev = mems;
   MemsDevice far_dev = mems;
   Request req;
@@ -198,7 +198,7 @@ TEST(IntegrationTest, TableTwoRegressionValues) {
   const double read_ms = mems.ServiceRequest(req, 5.0, &rd);
   req.type = IoType::kWrite;
   ServiceBreakdown wr;
-  mems.ServiceRequest(req, 5.0 + read_ms, &wr);
+  (void)mems.ServiceRequest(req, 5.0 + read_ms, &wr);
   // Table 2 accounting: read transfer + reposition + write transfer.
   const double mems_total = rd.transfer_ms + wr.positioning_ms + wr.transfer_ms;
   EXPECT_NEAR(mems_total, 0.33, 0.04);
@@ -207,12 +207,12 @@ TEST(IntegrationTest, TableTwoRegressionValues) {
   Request track;
   track.lbn = 0;
   track.block_count = 334;
-  disk.ServiceRequest(track, 0.0);
+  (void)disk.ServiceRequest(track, 0.0);
   ServiceBreakdown dr;
   const double t_read = disk.ServiceRequest(track, 100.0, &dr);
   track.type = IoType::kWrite;
   ServiceBreakdown dw;
-  disk.ServiceRequest(track, 100.0 + t_read, &dw);
+  (void)disk.ServiceRequest(track, 100.0 + t_read, &dw);
   const double disk_total = dr.transfer_ms + dw.positioning_ms + dw.transfer_ms;
   EXPECT_NEAR(disk_total, 12.0, 0.2);
 }

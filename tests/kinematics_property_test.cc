@@ -83,8 +83,8 @@ TEST(KinematicsPropertyTest, DeviceEstimateConsistentAcrossCopies) {
   Request prime;
   prime.lbn = 123456;
   prime.block_count = 8;
-  a.ServiceRequest(prime, 0.0);
-  b.ServiceRequest(prime, 0.0);
+  (void)a.ServiceRequest(prime, 0.0);
+  (void)b.ServiceRequest(prime, 0.0);
   for (int i = 0; i < 500; ++i) {
     Request req;
     req.lbn = rng.UniformInt(a.CapacityBlocks() - 8);

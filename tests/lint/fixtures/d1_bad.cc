@@ -1,0 +1,22 @@
+// Fixture: every construct D1 must reject (nondeterminism sources).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <thread>
+
+int Violations() {
+  std::random_device rd;
+  srand(42);
+  int x = rand();
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::system_clock::now();
+  time_t wall = time(nullptr);
+  auto tid = std::this_thread::get_id();
+  (void)rd;
+  (void)t0;
+  (void)t1;
+  (void)wall;
+  (void)tid;
+  return x;
+}

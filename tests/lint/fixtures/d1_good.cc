@@ -1,0 +1,20 @@
+// Fixture: D1 must stay quiet here. Seeded generators, virtual time, and
+// nondeterministic APIs mentioned only in comments or strings are all fine:
+// std::random_device, rand(), steady_clock.
+#include <cstdint>
+#include <string>
+
+uint64_t SplitMix(uint64_t seed) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return z ^ (z >> 31);
+}
+
+std::string Describe() {
+  // The word time() inside a string literal is not a call.
+  return "wall time() and rand() are banned in src/";
+}
+
+double response_time(double service_ms_sum, int n) {
+  return n > 0 ? service_ms_sum / n : 0.0;
+}

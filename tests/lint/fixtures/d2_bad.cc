@@ -1,0 +1,22 @@
+// Fixture: D2 must reject unordered iteration in a TU that reaches
+// serialization (this file includes a JSON sink header).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/sim/json_writer.h"
+
+struct Registry {
+  std::unordered_map<int64_t, double> totals;
+};
+
+double SumAll(const Registry& reg, const std::unordered_set<int>& live) {
+  double sum = 0.0;
+  for (const auto& kv : reg.totals) {
+    sum += kv.second;
+  }
+  for (auto it = live.begin(); it != live.end(); ++it) {
+    sum += *it;
+  }
+  return sum;
+}

@@ -1,0 +1,25 @@
+// Fixture: D2 must stay quiet. This TU reaches serialization but only ever
+// iterates ordered containers; the unordered map is used for point lookups.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "src/sim/json_writer.h"
+
+struct Registry {
+  std::map<int64_t, double> ordered;
+  std::unordered_map<int64_t, double> index;
+};
+
+double Lookup(const Registry& reg, int64_t key) {
+  auto it = reg.index.find(key);
+  return it == reg.index.end() ? 0.0 : it->second;
+}
+
+double SumOrdered(const Registry& reg) {
+  double sum = 0.0;
+  for (const auto& kv : reg.ordered) {
+    sum += kv.second;
+  }
+  return sum;
+}

@@ -1,0 +1,14 @@
+// Fixture: D2 must stay quiet. This TU iterates an unordered container but
+// never reaches a serialization sink, so byte-stability is not at stake
+// (internal-only traversal, like a cache evicting in hash order would be
+// caught the moment its results feed metrics).
+#include <cstdint>
+#include <unordered_map>
+
+int64_t CountLive(const std::unordered_map<int64_t, bool>& live) {
+  int64_t n = 0;
+  for (const auto& kv : live) {
+    n += kv.second ? 1 : 0;
+  }
+  return n;
+}

@@ -1,0 +1,15 @@
+// Fixture: N1 must reject cost-returning estimate/service functions that a
+// caller can silently ignore.
+#ifndef TESTS_LINT_FIXTURES_N1_BAD_H_
+#define TESTS_LINT_FIXTURES_N1_BAD_H_
+
+#include "src/sim/units.h"
+
+struct FixtureModel {
+  virtual ~FixtureModel() = default;
+  virtual mstk::TimeMs ServiceRequest(int lbn) = 0;
+  virtual double EstimatePositioningMs(int lbn) const = 0;
+  mstk::TimeMs DegradedPenaltyMs() const { return 0.0; }
+};
+
+#endif  // TESTS_LINT_FIXTURES_N1_BAD_H_

@@ -1,0 +1,17 @@
+// Fixture: N1 must stay quiet — every cost-returning function is
+// [[nodiscard]], and non-cost functions need nothing.
+#ifndef TESTS_LINT_FIXTURES_N1_GOOD_H_
+#define TESTS_LINT_FIXTURES_N1_GOOD_H_
+
+#include "src/sim/units.h"
+
+struct FixtureModel {
+  virtual ~FixtureModel() = default;
+  [[nodiscard]] virtual mstk::TimeMs ServiceRequest(int lbn) = 0;
+  [[nodiscard]] virtual double EstimatePositioningMs(int lbn) const = 0;
+  [[nodiscard]] mstk::TimeMs DegradedPenaltyMs() const { return 0.0; }
+  void Reset() {}
+  int ServiceCount() const { return 0; }
+};
+
+#endif  // TESTS_LINT_FIXTURES_N1_GOOD_H_

@@ -1,0 +1,21 @@
+// Fixture: suppression-comment handling. Two D1 violations are allowed (one
+// same-line, one comment-above), one carries the wrong rule id and must still
+// fire, and one has no suppression at all.
+#include <cstdlib>
+
+int SuppressedSameLine() {
+  return rand();  // mstk-lint: allow(D1) -- fixture: documented exception
+}
+
+int SuppressedLineAbove() {
+  // mstk-lint: allow(D1) -- fixture: documented exception
+  return rand();
+}
+
+int WrongRuleStillFires() {
+  return rand();  // mstk-lint: allow(U2) -- does not cover D1
+}
+
+int UnsuppressedFires() {
+  return rand();
+}

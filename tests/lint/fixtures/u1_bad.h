@@ -1,0 +1,12 @@
+// Fixture: U1 must reject raw-double millisecond surfaces.
+#ifndef TESTS_LINT_FIXTURES_U1_BAD_H_
+#define TESTS_LINT_FIXTURES_U1_BAD_H_
+
+struct FixtureDevice {
+  double timeout_ms = 50.0;
+
+  double ServiceCostMs(double wait_ms) const;
+  void Batch(const int* reqs, int n, double* out_ms) const;
+};
+
+#endif  // TESTS_LINT_FIXTURES_U1_BAD_H_

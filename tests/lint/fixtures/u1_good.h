@@ -1,0 +1,17 @@
+// Fixture: U1 must stay quiet. Times use TimeMs; plain doubles are
+// dimensionless (rates, ratios, conversion factors).
+#ifndef TESTS_LINT_FIXTURES_U1_GOOD_H_
+#define TESTS_LINT_FIXTURES_U1_GOOD_H_
+
+#include "src/sim/units.h"
+
+struct FixtureDevice {
+  mstk::TimeMs timeout_ms = 50.0;
+  double utilization = 0.0;
+  double blocks_per_second = 0.0;
+
+  mstk::TimeMs ServiceCostMs(mstk::TimeMs wait_ms) const;
+  void Batch(const int* reqs, int n, mstk::TimeMs* out_ms) const;
+};
+
+#endif  // TESTS_LINT_FIXTURES_U1_GOOD_H_

@@ -1,0 +1,14 @@
+// Fixture: U2 must reject exact equality between floating-point times.
+#include "src/sim/units.h"
+
+bool SameArrival(mstk::TimeMs a_ms, mstk::TimeMs b_ms) { return a_ms == b_ms; }
+
+bool Distinct(mstk::TimeMs a_ms, mstk::TimeMs b_ms) { return a_ms != b_ms; }
+
+struct Span {
+  mstk::TimeMs start_ms = 0.0;
+  mstk::TimeMs end_ms = 0.0;
+  mstk::TimeMs duration_ms() const { return end_ms - start_ms; }
+};
+
+bool Empty(const Span& s) { return s.duration_ms() == 0.0; }

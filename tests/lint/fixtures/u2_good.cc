@@ -1,0 +1,15 @@
+// Fixture: U2 must stay quiet. Ordered comparisons of times are fine, and
+// exact equality of non-time values (counts, ids) is fine too.
+#include <cstdint>
+
+#include "src/sim/units.h"
+
+bool Before(mstk::TimeMs a_ms, mstk::TimeMs b_ms) { return a_ms < b_ms; }
+
+bool Done(mstk::TimeMs now_ms, mstk::TimeMs deadline_ms) {
+  return now_ms >= deadline_ms;
+}
+
+bool SameId(int64_t a, int64_t b) { return a == b; }
+
+bool NoBlocks(int32_t block_count) { return block_count == 0; }

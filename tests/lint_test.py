@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/lint/mstk_lint.py (ctest label: lint).
+
+Plain python (no pytest dependency): each case runs the linter as a
+subprocess against a fixture under tests/lint/fixtures/ and asserts on exit
+status, finding counts, and report bytes. Run directly or via
+`ctest -L lint` / `scripts/run_lint.sh --selftest`.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(ROOT, "tools", "lint", "mstk_lint.py")
+FIXTURES = os.path.join(ROOT, "tests", "lint", "fixtures")
+
+FAILURES = []
+
+
+def run(*args, cwd=ROOT):
+    proc = subprocess.run([sys.executable, LINT] + list(args), cwd=cwd,
+                          stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                          text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def check(name, cond, detail=""):
+    status = "ok" if cond else "FAIL"
+    print("  [%s] %s%s" % (status, name, (" -- " + detail) if (detail and not cond) else ""))
+    if not cond:
+        FAILURES.append(name)
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def findings_of(stdout, rule):
+    return [l for l in stdout.splitlines() if (": %s: " % rule) in l]
+
+
+def test_list_rules():
+    rc, out, _ = run("--list-rules")
+    check("list-rules exits 0", rc == 0)
+    for rid in ("D1", "D2", "U1", "U2", "N1"):
+        check("list-rules mentions %s" % rid, rid in out)
+
+
+def test_rule(rule, bad, good_list, expect_bad):
+    rc, out, err = run("--rules", rule, "--all-scopes", fixture(bad))
+    n = len(findings_of(out, rule))
+    check("%s flags %s (rc)" % (rule, bad), rc == 1, "rc=%d err=%s" % (rc, err))
+    check("%s finds %d in %s" % (rule, expect_bad, bad), n == expect_bad,
+          "got %d:\n%s" % (n, out))
+    for good in good_list:
+        rc, out, err = run("--rules", rule, "--all-scopes", fixture(good))
+        check("%s clean on %s" % (rule, good), rc == 0, "out=%s err=%s" % (out, err))
+
+
+def test_suppression():
+    rc, out, _ = run("--rules", "D1", "--all-scopes", fixture("suppress.cc"))
+    n = len(findings_of(out, "D1"))
+    check("suppression: 2 of 4 violations still fire", n == 2, out)
+    check("suppression: nonzero exit for the unsuppressed pair", rc == 1)
+    lines = sorted(int(l.split(":")[1]) for l in findings_of(out, "D1"))
+    # rand() calls on the allow(U2) line and the bare line must fire; the
+    # same-line and line-above allow(D1) ones must not.
+    with open(fixture("suppress.cc")) as f:
+        src = f.read().splitlines()
+    for ln in lines:
+        check("suppression: surviving finding at line %d is unsuppressed" % ln,
+              "allow(D1)" not in src[ln - 1] and "allow(D1)" not in src[ln - 2])
+
+
+def test_json_report():
+    with tempfile.TemporaryDirectory() as tmp:
+        out1 = os.path.join(tmp, "a.json")
+        out2 = os.path.join(tmp, "b.json")
+        run("--rules", "D1", "--all-scopes", "--json", out1, "-q", fixture("d1_bad.cc"))
+        run("--rules", "D1", "--all-scopes", "--json", out2, "-q", fixture("d1_bad.cc"))
+        with open(out1, "rb") as a, open(out2, "rb") as b:
+            bytes1, bytes2 = a.read(), b.read()
+        check("json report is byte-stable across runs", bytes1 == bytes2)
+        report = json.loads(bytes1)
+        for key in ("tool", "engine", "rules", "findings", "counts", "total"):
+            check("json report has key %r" % key, key in report)
+        check("json findings are sorted",
+              report["findings"] == sorted(report["findings"],
+                                           key=lambda f: (f["path"], f["line"],
+                                                          f["col"], f["rule"])))
+        check("json counts match findings", report["total"] == len(report["findings"])
+              and report["total"] == sum(report["counts"].values()))
+        for f in report["findings"]:
+            check("finding rule is D1", f["rule"] == "D1")
+            break
+
+
+def test_fix_roundtrip():
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in ("u1_bad.h", "n1_bad.h"):
+            shutil.copy(fixture(name), os.path.join(tmp, name))
+        paths = [os.path.join(tmp, n) for n in ("u1_bad.h", "n1_bad.h")]
+        rc, _, _ = run("--rules", "U1,N1", "--all-scopes", "--fix", "-q", *paths)
+        check("fix run reports findings", rc == 1)
+        rc, out, _ = run("--rules", "U1,N1", "--all-scopes", *paths)
+        check("tree is clean after --fix", rc == 0, out)
+        with open(paths[0]) as f:
+            fixed = f.read()
+        check("--fix rewrote double to TimeMs", "TimeMs timeout_ms" in fixed, fixed)
+        with open(paths[1]) as f:
+            fixed = f.read()
+        check("--fix inserted [[nodiscard]]", "[[nodiscard]] virtual" in fixed, fixed)
+
+
+def test_repo_is_clean():
+    rc, out, err = run()
+    check("full tree lints clean (the repaired-tree gate)", rc == 0,
+          "out=%s err=%s" % (out, err))
+
+
+def main():
+    print("mstk-lint fixture tests")
+    test_list_rules()
+    test_rule("D1", "d1_bad.cc", ["d1_good.cc"], expect_bad=7)
+    test_rule("D2", "d2_bad.cc", ["d2_good.cc", "d2_noreach.cc"], expect_bad=2)
+    test_rule("U1", "u1_bad.h", ["u1_good.h"], expect_bad=4)
+    test_rule("U2", "u2_bad.cc", ["u2_good.cc"], expect_bad=3)
+    test_rule("N1", "n1_bad.h", ["n1_good.h"], expect_bad=3)
+    test_suppression()
+    test_json_report()
+    test_fix_roundtrip()
+    test_repo_is_clean()
+    if FAILURES:
+        print("FAILED: %d case(s): %s" % (len(FAILURES), ", ".join(FAILURES)))
+        return 1
+    print("all lint fixture tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ Request MakeRead(int64_t lbn, int32_t blocks) {
 TEST(MemsDeviceTest, FourKbTransferMatchesTableTwo) {
   MemsDevice device;
   ServiceBreakdown breakdown;
-  device.ServiceRequest(MakeRead(0, 8), 0.0, &breakdown);
+  (void)device.ServiceRequest(MakeRead(0, 8), 0.0, &breakdown);
   // 8 LBNs fit in one 20-LBN row pass: 90 bits / 700 kbit/s = 0.1286 ms
   // (Table 2 reports 0.13 ms for the 8-sector read).
   EXPECT_NEAR(breakdown.transfer_ms, 0.1286, 0.001);
@@ -31,7 +31,7 @@ TEST(MemsDeviceTest, TrackLengthTransferMatchesTableTwo) {
   MemsDevice device;
   ServiceBreakdown breakdown;
   // 334 sectors (the Atlas 10K's longest track) = ceil(334/20) = 17 rows.
-  device.ServiceRequest(MakeRead(0, 334), 0.0, &breakdown);
+  (void)device.ServiceRequest(MakeRead(0, 334), 0.0, &breakdown);
   EXPECT_NEAR(breakdown.transfer_ms, 17 * 0.12857, 0.001);  // Table 2: 2.19 ms
   EXPECT_EQ(breakdown.extra_ms, 0.0);                       // fits in one track
 }
@@ -41,13 +41,13 @@ TEST(MemsDeviceTest, ReadModifyWriteRepositionIsTurnaround) {
   // Move to mid-device, mid-row (the turnaround is position-dependent;
   // Table 2's 0.07 ms is the central value) and read 8 blocks.
   const int64_t lbn = device.geometry().Encode(MemsAddress{1250, 2, 13, 0});
-  device.ServiceRequest(MakeRead(lbn, 8), 0.0);
+  (void)device.ServiceRequest(MakeRead(lbn, 8), 0.0);
   // Re-accessing the same blocks: reposition should be a bare turnaround
   // (Table 2: 0.07 ms), not a rotational wait.
   ServiceBreakdown breakdown;
   Request write = MakeRead(lbn, 8);
   write.type = IoType::kWrite;
-  device.ServiceRequest(write, 10.0, &breakdown);
+  (void)device.ServiceRequest(write, 10.0, &breakdown);
   EXPECT_NEAR(breakdown.positioning_ms, 0.07, 0.02);
   EXPECT_NEAR(breakdown.positioning_ms + breakdown.transfer_ms, 0.20, 0.03);
 }
@@ -55,20 +55,20 @@ TEST(MemsDeviceTest, ReadModifyWriteRepositionIsTurnaround) {
 TEST(MemsDeviceTest, PositioningIsMaxOfXAndY) {
   MemsDevice device;
   // Prime the state: read at cylinder 0, row 0.
-  device.ServiceRequest(MakeRead(0, 8), 0.0);
+  (void)device.ServiceRequest(MakeRead(0, 8), 0.0);
   const MemsGeometry& geom = device.geometry();
   // Far X, same rows: positioning ~= X seek + settle.
   const int64_t far_x = geom.Encode(MemsAddress{2400, 0, 0, 0});
   ServiceBreakdown far_x_bd;
   MemsDevice probe1 = device;
-  probe1.ServiceRequest(MakeRead(far_x, 8), 0.0, &far_x_bd);
+  (void)probe1.ServiceRequest(MakeRead(far_x, 8), 0.0, &far_x_bd);
   const double tx = probe1.CylinderSeekMs(0, 2400) + probe1.SettleMs();
   EXPECT_NEAR(far_x_bd.positioning_ms, tx, 0.02);
   // Same cylinder, far Y: positioning == pure Y seek, well below tx.
   const int64_t far_y = geom.Encode(MemsAddress{0, 0, 26, 0});
   ServiceBreakdown far_y_bd;
   MemsDevice probe2 = device;
-  probe2.ServiceRequest(MakeRead(far_y, 8), 0.0, &far_y_bd);
+  (void)probe2.ServiceRequest(MakeRead(far_y, 8), 0.0, &far_y_bd);
   EXPECT_LT(far_y_bd.positioning_ms, tx);
 }
 
@@ -79,7 +79,7 @@ TEST(MemsDeviceTest, EstimateMatchesServiceBreakdown) {
     const Request req = MakeRead(rng.UniformInt(device.CapacityBlocks() - 8), 8);
     const double estimate = device.EstimatePositioningMs(req, 0.0);
     ServiceBreakdown breakdown;
-    device.ServiceRequest(req, 0.0, &breakdown);
+    (void)device.ServiceRequest(req, 0.0, &breakdown);
     EXPECT_NEAR(estimate, breakdown.positioning_ms, 1e-9);
   }
 }
@@ -89,11 +89,11 @@ TEST(MemsDeviceTest, TrackCrossingChargesTurnaround) {
   // 540 blocks fill exactly one track; 560 cross into the next.
   ServiceBreakdown one_track;
   device.Reset();
-  device.ServiceRequest(MakeRead(0, 540), 0.0, &one_track);
+  (void)device.ServiceRequest(MakeRead(0, 540), 0.0, &one_track);
   EXPECT_EQ(one_track.extra_ms, 0.0);
   ServiceBreakdown two_tracks;
   device.Reset();
-  device.ServiceRequest(MakeRead(0, 560), 0.0, &two_tracks);
+  (void)device.ServiceRequest(MakeRead(0, 560), 0.0, &two_tracks);
   EXPECT_GT(two_tracks.extra_ms, 0.0);
   // Serpentine mapping: the track switch costs only a turnaround (near the
   // media edge the spring makes it cheap), not a full-stroke Y reposition.
@@ -116,7 +116,7 @@ TEST(MemsDeviceTest, LargeTransferInsensitiveToXDistance) {
   MemsDevice device;
   const MemsGeometry& geom = device.geometry();
   // Park at cylinder 0 (request at far left).
-  device.ServiceRequest(MakeRead(0, 8), 0.0);
+  (void)device.ServiceRequest(MakeRead(0, 8), 0.0);
   MemsDevice near = device;
   MemsDevice far = device;
   const double t_near =
@@ -168,7 +168,7 @@ TEST(MemsDeviceTest, ZeroSettleSpeedsUpXSeeks) {
 
 TEST(MemsDeviceTest, ResetRestoresInitialState) {
   MemsDevice device;
-  device.ServiceRequest(MakeRead(123456, 64), 0.0);
+  (void)device.ServiceRequest(MakeRead(123456, 64), 0.0);
   EXPECT_GT(device.activity().busy_ms, 0.0);
   device.Reset();
   EXPECT_EQ(device.activity().busy_ms, 0.0);
@@ -180,10 +180,10 @@ TEST(MemsDeviceTest, ResetRestoresInitialState) {
 
 TEST(MemsDeviceTest, ActivityCountersAccumulate) {
   MemsDevice device;
-  device.ServiceRequest(MakeRead(0, 8), 0.0);
+  (void)device.ServiceRequest(MakeRead(0, 8), 0.0);
   Request w = MakeRead(5000, 16);
   w.type = IoType::kWrite;
-  device.ServiceRequest(w, 1.0);
+  (void)device.ServiceRequest(w, 1.0);
   EXPECT_EQ(device.activity().requests, 2);
   EXPECT_EQ(device.activity().blocks_read, 8);
   EXPECT_EQ(device.activity().blocks_written, 16);

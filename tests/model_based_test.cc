@@ -62,7 +62,7 @@ TEST(ModelBasedTest, BlockCacheResidencyMatchesReferenceLru) {
     req.lbn = lbn;
     req.block_count = blocks;
     req.type = write ? IoType::kWrite : IoType::kRead;
-    cache.ServiceRequest(req, static_cast<double>(step));
+    (void)cache.ServiceRequest(req, static_cast<double>(step));
     ASSERT_EQ(cache.stats().blocks_hit, expect_hits) << "step " << step;
     ASSERT_EQ(cache.stats().blocks_missed, expect_misses) << "step " << step;
     ASSERT_EQ(cache.resident_blocks(), static_cast<int64_t>(lru.size()));

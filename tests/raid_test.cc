@@ -90,11 +90,11 @@ TEST_F(MemsArrayFixture, Raid0LargeReadScalesDown) {
 
 TEST_F(MemsArrayFixture, Raid1WriteGoesEverywhereReadPicksOne) {
   RaidArray raid(RaidConfig{RaidLevel::kRaid1, 64}, members_);
-  raid.ServiceRequest(MakeReq(5000, 8, IoType::kWrite), 0.0);
+  (void)raid.ServiceRequest(MakeReq(5000, 8, IoType::kWrite), 0.0);
   for (const auto& device : devices_) {
     EXPECT_EQ(device->activity().blocks_written, 8);
   }
-  raid.ServiceRequest(MakeReq(5000, 8, IoType::kRead), 10.0);
+  (void)raid.ServiceRequest(MakeReq(5000, 8, IoType::kRead), 10.0);
   int64_t total_read = 0;
   for (const auto& device : devices_) {
     total_read += device->activity().blocks_read;
@@ -104,7 +104,7 @@ TEST_F(MemsArrayFixture, Raid1WriteGoesEverywhereReadPicksOne) {
 
 TEST_F(MemsArrayFixture, Raid5SmallWriteIsFourOps) {
   RaidArray raid(RaidConfig{RaidLevel::kRaid5, 64}, members_);
-  raid.ServiceRequest(MakeReq(0, 8, IoType::kWrite), 0.0);
+  (void)raid.ServiceRequest(MakeReq(0, 8, IoType::kWrite), 0.0);
   // Old data + old parity read, new data + new parity written: 8 blocks
   // read on each of 2 members, 8 written on the same 2.
   int64_t reads = 0;
@@ -122,7 +122,7 @@ TEST_F(MemsArrayFixture, Raid5SmallWriteIsFourOps) {
 
 TEST_F(MemsArrayFixture, Raid5FullStripeWriteSkipsReads) {
   RaidArray raid(RaidConfig{RaidLevel::kRaid5, 64}, members_);
-  raid.ServiceRequest(MakeReq(0, 64 * 4, IoType::kWrite), 0.0);
+  (void)raid.ServiceRequest(MakeReq(0, 64 * 4, IoType::kWrite), 0.0);
   int64_t reads = 0;
   int64_t writes = 0;
   for (const auto& device : devices_) {
@@ -156,7 +156,7 @@ TEST_F(MemsArrayFixture, Raid5DegradedWriteRebuildsParity) {
   RaidArray raid(RaidConfig{RaidLevel::kRaid5, 64}, members_);
   const auto mb = raid.MapRaid5Data(0);
   raid.SetMemberFailed(mb.member, true);
-  raid.ServiceRequest(MakeReq(0, 8, IoType::kWrite), 0.0);
+  (void)raid.ServiceRequest(MakeReq(0, 8, IoType::kWrite), 0.0);
   // The failed member is untouched; parity is still written.
   EXPECT_EQ(devices_[static_cast<size_t>(mb.member)]->activity().requests, 0);
   const int parity = raid.Raid5ParityMember(0);
@@ -166,7 +166,7 @@ TEST_F(MemsArrayFixture, Raid5DegradedWriteRebuildsParity) {
 TEST_F(MemsArrayFixture, ResetClearsFailuresAndMembers) {
   RaidArray raid(RaidConfig{RaidLevel::kRaid5, 64}, members_);
   raid.SetMemberFailed(1, true);
-  raid.ServiceRequest(MakeReq(0, 8), 0.0);
+  (void)raid.ServiceRequest(MakeReq(0, 8), 0.0);
   raid.Reset();
   EXPECT_FALSE(raid.member_failed(1));
   EXPECT_EQ(raid.activity().requests, 0);

@@ -152,10 +152,10 @@ TEST(ResonantSpringTest, TableTwoStillHoldsUnderResonantSpring) {
   Request req;
   req.lbn = lbn;
   req.block_count = 8;
-  device.ServiceRequest(req, 0.0);
+  (void)device.ServiceRequest(req, 0.0);
   ServiceBreakdown bd;
   req.type = IoType::kWrite;
-  device.ServiceRequest(req, 10.0, &bd);
+  (void)device.ServiceRequest(req, 10.0, &bd);
   EXPECT_NEAR(bd.positioning_ms, 0.07, 0.03);
   EXPECT_NEAR(bd.transfer_ms, 0.129, 0.002);
 }

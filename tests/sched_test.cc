@@ -90,7 +90,7 @@ TEST(ClookTest, ServicesAllInOneSweepWhenAhead) {
 TEST(SptfTest, PicksSmallestPositioningTime) {
   MemsDevice device;
   // Park mid-device.
-  device.ServiceRequest(MakeReq(0, device.CapacityBlocks() / 2), 0.0);
+  (void)device.ServiceRequest(MakeReq(0, device.CapacityBlocks() / 2), 0.0);
   SptfScheduler sched(&device);
   const int64_t near = device.CapacityBlocks() / 2 + 40;
   const int64_t far = device.CapacityBlocks() - 100;
@@ -106,7 +106,7 @@ TEST(SptfTest, BeatsLbnProxyWhenYDominates) {
   // far-Y request is actually the expensive one.
   MemsDevice device;
   const MemsGeometry& geom = device.geometry();
-  device.ServiceRequest(MakeReq(0, geom.Encode(MemsAddress{1000, 0, 0, 0})), 0.0);
+  (void)device.ServiceRequest(MakeReq(0, geom.Encode(MemsAddress{1000, 0, 0, 0})), 0.0);
   // Request A: same cylinder, opposite end in Y (LBN-close).
   const int64_t same_cyl_far_y = geom.Encode(MemsAddress{1000, 0, 26, 0});
   // Request B: 3 cylinders away, same row (LBN-far).
@@ -163,7 +163,7 @@ TEST(SptfTest, CachedScanMatchesNaiveReference) {
 
 TEST(AgedSptfTest, AgingPromotesOldRequests) {
   MemsDevice device;
-  device.ServiceRequest(MakeReq(0, 0), 0.0);
+  (void)device.ServiceRequest(MakeReq(0, 0), 0.0);
   AgedSptfScheduler sched(&device, /*age_weight=*/0.5);
   Request old_far = MakeReq(0, device.CapacityBlocks() - 100);
   old_far.arrival_ms = 0.0;
@@ -183,7 +183,7 @@ TEST(AgedSptfTest, AgeCreditSaturatesAtZeroCost) {
   // every saturated request tie, and the first-index scan then serves them
   // in FIFO order.
   MemsDevice device;
-  device.ServiceRequest(MakeReq(0, 0), 0.0);
+  (void)device.ServiceRequest(MakeReq(0, 0), 0.0);
   AgedSptfScheduler sched(&device, /*age_weight=*/1.0);
   Request far_old = MakeReq(0, device.CapacityBlocks() - 100);
   far_old.arrival_ms = 0.0;

@@ -48,14 +48,14 @@ TEST_F(TieredFixture, MissPromotesThenHitsAreFast) {
 }
 
 TEST_F(TieredFixture, WholeExtentWriteSkipsFetch) {
-  store_.ServiceRequest(MakeReq(6400, 64, IoType::kWrite), 0.0);
+  (void)store_.ServiceRequest(MakeReq(6400, 64, IoType::kWrite), 0.0);
   EXPECT_EQ(store_.stats().promotions, 0);  // no read from disk
   EXPECT_EQ(disk_.activity().blocks_read, 0);
   EXPECT_EQ(mems_.activity().blocks_written, 64);
 }
 
 TEST_F(TieredFixture, PartialWriteFetchesRestOfExtent) {
-  store_.ServiceRequest(MakeReq(6400, 8, IoType::kWrite), 0.0);
+  (void)store_.ServiceRequest(MakeReq(6400, 8, IoType::kWrite), 0.0);
   EXPECT_EQ(store_.stats().promotions, 1);
   EXPECT_EQ(disk_.activity().blocks_read, 64);
 }
@@ -63,18 +63,18 @@ TEST_F(TieredFixture, PartialWriteFetchesRestOfExtent) {
 TEST_F(TieredFixture, DirtyEvictionDemotesToSlow) {
   // Dirty one extent, then stream reads through 64 more extents to force
   // its eviction.
-  store_.ServiceRequest(MakeReq(0, 64, IoType::kWrite), 0.0);
+  (void)store_.ServiceRequest(MakeReq(0, 64, IoType::kWrite), 0.0);
   for (int i = 1; i <= 64; ++i) {
-    store_.ServiceRequest(MakeReq(i * 64, 8), i * 100.0);
+    (void)store_.ServiceRequest(MakeReq(i * 64, 8), i * 100.0);
   }
   EXPECT_GE(store_.stats().demotions, 1);
   EXPECT_EQ(disk_.activity().blocks_written, 64);
 }
 
 TEST_F(TieredFixture, CleanEvictionIsSilent) {
-  store_.ServiceRequest(MakeReq(0, 8), 0.0);  // clean extent
+  (void)store_.ServiceRequest(MakeReq(0, 8), 0.0);  // clean extent
   for (int i = 1; i <= 64; ++i) {
-    store_.ServiceRequest(MakeReq(i * 64, 8), i * 100.0);
+    (void)store_.ServiceRequest(MakeReq(i * 64, 8), i * 100.0);
   }
   EXPECT_EQ(store_.stats().demotions, 0);
   EXPECT_EQ(disk_.activity().blocks_written, 0);
@@ -85,7 +85,7 @@ TEST_F(TieredFixture, BypassSkipsFastTier) {
   TieredStoreConfig config = Config();
   config.bypass_blocks = 256;
   TieredStore store(config, &mems_, &disk_);
-  store.ServiceRequest(MakeReq(0, 512), 0.0);
+  (void)store.ServiceRequest(MakeReq(0, 512), 0.0);
   EXPECT_EQ(store.stats().bypasses, 1);
   EXPECT_EQ(store.stats().promotions, 0);
   EXPECT_EQ(mems_.activity().requests, 0);
@@ -96,8 +96,8 @@ TEST_F(TieredFixture, BypassDemotesOverlappingDirtyExtents) {
   TieredStoreConfig config = Config();
   config.bypass_blocks = 256;
   TieredStore store(config, &mems_, &disk_);
-  store.ServiceRequest(MakeReq(64, 64, IoType::kWrite), 0.0);  // dirty extent 1
-  store.ServiceRequest(MakeReq(0, 512), 10.0);                 // bypass read over it
+  (void)store.ServiceRequest(MakeReq(64, 64, IoType::kWrite), 0.0);  // dirty extent 1
+  (void)store.ServiceRequest(MakeReq(0, 512), 10.0);                 // bypass read over it
   EXPECT_EQ(store.stats().demotions, 1);
   // The dirty data reached the disk before the streaming read.
   EXPECT_EQ(disk_.activity().blocks_written, 64);
@@ -107,14 +107,14 @@ TEST_F(TieredFixture, BypassWriteInvalidatesResidentCopies) {
   TieredStoreConfig config = Config();
   config.bypass_blocks = 256;
   TieredStore store(config, &mems_, &disk_);
-  store.ServiceRequest(MakeReq(64, 8), 0.0);  // extent 1 resident (clean)
+  (void)store.ServiceRequest(MakeReq(64, 8), 0.0);  // extent 1 resident (clean)
   EXPECT_EQ(store.resident_extents(), 1);
-  store.ServiceRequest(MakeReq(0, 512, IoType::kWrite), 10.0);  // bypass write
+  (void)store.ServiceRequest(MakeReq(0, 512, IoType::kWrite), 10.0);  // bypass write
   // The resident copy is stale and must be gone.
   EXPECT_EQ(store.resident_extents(), 0);
   // Next read re-fetches from the slow tier (a miss, not a stale hit).
   const int64_t misses_before = store.stats().extent_misses;
-  store.ServiceRequest(MakeReq(64, 8), 20.0);
+  (void)store.ServiceRequest(MakeReq(64, 8), 20.0);
   EXPECT_EQ(store.stats().extent_misses, misses_before + 1);
 }
 
@@ -122,12 +122,12 @@ TEST_F(TieredFixture, BypassReadLeavesCleanCopiesResident) {
   TieredStoreConfig config = Config();
   config.bypass_blocks = 256;
   TieredStore store(config, &mems_, &disk_);
-  store.ServiceRequest(MakeReq(64, 8), 0.0);  // extent 1 resident (clean)
-  store.ServiceRequest(MakeReq(0, 512), 10.0);  // bypass READ: no staleness
+  (void)store.ServiceRequest(MakeReq(64, 8), 0.0);  // extent 1 resident (clean)
+  (void)store.ServiceRequest(MakeReq(0, 512), 10.0);  // bypass READ: no staleness
   EXPECT_EQ(store.resident_extents(), 1);
   // Still a hit afterwards.
   const int64_t hits_before = store.stats().extent_hits;
-  store.ServiceRequest(MakeReq(64, 8), 20.0);
+  (void)store.ServiceRequest(MakeReq(64, 8), 20.0);
   EXPECT_EQ(store.stats().extent_hits, hits_before + 1);
 }
 
@@ -148,7 +148,7 @@ TEST_F(TieredFixture, HotSetConvergesToFastTierLatency) {
 }
 
 TEST_F(TieredFixture, ResetRestoresEverything) {
-  store_.ServiceRequest(MakeReq(0, 8), 0.0);
+  (void)store_.ServiceRequest(MakeReq(0, 8), 0.0);
   store_.Reset();
   EXPECT_EQ(store_.resident_extents(), 0);
   EXPECT_EQ(store_.stats().requests, 0);
