@@ -73,8 +73,10 @@ int main(int argc, char** argv) {
     config.request_count = fg_count;
     config.capacity_blocks = device.CapacityBlocks();
     Rng rng(17);
-    for (const Request& req : GenerateRandomWorkload(config, rng)) {
-      sim.ScheduleAt(req.arrival_ms, [&driver, req] { driver.Submit(req); });
+    const std::vector<Request> workload = GenerateRandomWorkload(config, rng);
+    for (const Request& req : workload) {
+      const Request* arrival = &req;
+      sim.ScheduleAt(req.arrival_ms, [&driver, arrival] { driver.Submit(*arrival); });
     }
     sim.Run();
 

@@ -67,7 +67,8 @@ int main() {
   Simulator sim;
   Driver driver(&sim, &stack, &sptf2, &metrics);
   for (const Request& req : requests) {
-    sim.ScheduleAt(req.arrival_ms, [&driver, req] { driver.Submit(req); });
+    const Request* arrival = &req;
+    sim.ScheduleAt(req.arrival_ms, [&driver, arrival] { driver.Submit(*arrival); });
   }
   sim.Run();
   std::printf("degraded mean response %7.3f ms (reads reconstruct from 4 peers,\n"

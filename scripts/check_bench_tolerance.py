@@ -15,6 +15,17 @@ Usage:
       Compare each sweep's mean_*_ms metric means against the baseline.
       Exit 1 if any relative delta exceeds the tolerance, or if a baseline
       cell/metric disappeared from the measurement.
+  check_bench_tolerance.py bench-write BASELINE BENCH_JSON
+      Record/refresh the events/sec throughput baseline (bench/events_per_sec
+      --json output) under the baseline's "bench" key.
+  check_bench_tolerance.py bench-check BASELINE BENCH_JSON [--floor 0.45]
+      [--win-notice 0.15]
+      Wall-clock gate: unlike sweep metrics, events/sec depends on the
+      machine, so the gate is a one-sided ratio floor, not a tight band.
+      Exit 1 if any config's measured/baseline events_per_sec falls below
+      the floor (a real throughput regression survives machine noise); a
+      win beyond --win-notice just prints a reminder to refresh the
+      baseline so the floor keeps teeth.
 """
 
 import argparse
@@ -119,17 +130,86 @@ def check(baseline_path, sweep_paths, tolerance, report_path):
     return 0
 
 
+def load_bench(path):
+    """{config_name: events_per_sec} from an events_per_sec --json document."""
+    with open(path) as f:
+        doc = json.load(f)
+    return {name: c["events_per_sec"] for name, c in doc["configs"].items()}
+
+
+def bench_write(baseline_path, bench_path):
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        baseline = {"sweeps": {}}
+    baseline["bench"] = load_bench(bench_path)
+    with open(baseline_path, "w") as f:
+        json.dump(baseline, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"bench baseline written: {baseline_path} ({len(baseline['bench'])} configs)")
+    return 0
+
+
+def bench_check(baseline_path, bench_path, floor, win_notice):
+    with open(baseline_path) as f:
+        baseline = json.load(f).get("bench")
+    if not baseline:
+        print(f"error: no 'bench' section in {baseline_path} (run bench-write)")
+        return 1
+    measured = load_bench(bench_path)
+
+    failures = []
+    wins = []
+    for config, base in sorted(baseline.items()):
+        now = measured.get(config)
+        if now is None:
+            failures.append(f"{config}: config missing from measurement")
+            continue
+        ratio = now / base if base > 0 else float("inf")
+        status = "ok"
+        if ratio < floor:
+            status = "FAIL"
+            failures.append(
+                f"{config}: {now:,.0f} ev/s is {ratio:.2f}x of baseline "
+                f"{base:,.0f} (floor {floor:.2f}x)"
+            )
+        elif ratio > 1.0 + win_notice:
+            status = "win"
+            wins.append(config)
+        print(f"  {config}: {base:,.0f} -> {now:,.0f} ev/s ({ratio:.2f}x) {status}")
+
+    if wins:
+        print(
+            f"notice: {', '.join(wins)} beat the baseline by >{win_notice:.0%} — "
+            "refresh baseline (scripts/refresh_bench_baseline.sh) so the floor keeps teeth"
+        )
+    if failures:
+        print(f"THROUGHPUT REGRESSION: {len(failures)} config(s) below the floor")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"throughput ok: {len(baseline)} configs at or above {floor:.2f}x baseline")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("mode", choices=["write", "check"])
+    parser.add_argument("mode", choices=["write", "check", "bench-write", "bench-check"])
     parser.add_argument("baseline")
-    parser.add_argument("sweeps", nargs="+", help="mstk_sweep --json documents")
+    parser.add_argument("sweeps", nargs="+", help="mstk_sweep or events_per_sec --json documents")
     parser.add_argument("--tolerance", type=float, default=0.15)
     parser.add_argument("--report", default="")
+    parser.add_argument("--floor", type=float, default=0.45)
+    parser.add_argument("--win-notice", type=float, default=0.15)
     args = parser.parse_args()
 
     if args.mode == "write":
         return write_baseline(args.baseline, args.sweeps)
+    if args.mode == "bench-write":
+        return bench_write(args.baseline, args.sweeps[0])
+    if args.mode == "bench-check":
+        return bench_check(args.baseline, args.sweeps[0], args.floor, args.win_notice)
     return check(args.baseline, args.sweeps, args.tolerance, args.report)
 
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_baseline.json in place: the virtual-time sweep metrics
+# (machine-independent, gated at ±15%) and the events/sec throughput numbers
+# (machine-dependent, gated by a one-sided ratio floor).
+#
+# Run this on purpose, in the same PR as the model or performance change
+# that moved the numbers, and say why in the commit message — the CI gates
+# are only as honest as the baseline they compare against. See
+# CONTRIBUTING.md ("Benchmark baseline policy").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j --target mstk_sweep events_per_sec
+
+# Sweep metrics: virtual-time, so one run at any --jobs is exact.
+./"$BUILD"/tools/mstk_sweep smoke  --trials 4 --jobs 2 --seed 1 --json /tmp/refresh_smoke.json
+./"$BUILD"/tools/mstk_sweep faults --trials 4 --jobs 2 --seed 1 --json /tmp/refresh_faults.json
+python3 scripts/check_bench_tolerance.py write BENCH_baseline.json \
+  /tmp/refresh_smoke.json /tmp/refresh_faults.json
+
+# Throughput: wall-clock — take the best of several repeats to shave noise.
+./"$BUILD"/bench/events_per_sec --repeat 5 --json /tmp/refresh_bench.json
+python3 scripts/check_bench_tolerance.py bench-write BENCH_baseline.json \
+  /tmp/refresh_bench.json
+
+echo
+git --no-pager diff --stat BENCH_baseline.json || true
+echo "BENCH_baseline.json refreshed. Commit it together with the change that moved the numbers."

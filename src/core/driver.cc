@@ -36,10 +36,30 @@ constexpr Phase kSlicePhaseOrder[] = {Phase::kFault,      Phase::kOverhead,
 
 Driver::Driver(Simulator* sim, StorageDevice* device, IoScheduler* scheduler,
                MetricsCollector* metrics)
-    : sim_(sim), device_(device), scheduler_(scheduler), metrics_(metrics) {}
+    : sim_(sim),
+      device_(device),
+      scheduler_(scheduler),
+      metrics_(metrics),
+      pass_through_ok_(scheduler->PassThroughWhenEmpty()) {}
 
 void Driver::Submit(const Request& req) {
   metrics_->RecordArrival(req, sim_->NowMs());
+  // Fast path: device free and nothing queued — the scheduler has declared
+  // Add-then-Pop on an empty queue a pure pass-through, so skip the queue
+  // round-trip. Falls back to the full path when tracing (it emits
+  // per-transition queue counters).
+  if (!busy_ && pass_through_ok_ && !trace_.enabled() && scheduler_->Empty()) {
+    for (const auto& listener : on_active_) {
+      listener(sim_->NowMs());
+    }
+    const TimeMs now = sim_->NowMs();
+    metrics_->RecordDispatch(req, now, /*queue_depth=*/1);
+    const double penalty = pending_penalty_ms_;
+    pending_penalty_ms_ = 0.0;
+    busy_ = true;
+    StartAttempt(req, /*attempt=*/0, /*fault_ms=*/0.0, penalty, now);
+    return;
+  }
   scheduler_->Add(req);
   trace_.Counter("queue_depth", sim_->NowMs(),
                  static_cast<double>(scheduler_->size()));
@@ -129,7 +149,7 @@ TimeMs Driver::ServiceAttempt(const Request& req, TimeMs start_ms,
   return total;
 }
 
-void Driver::StartAttempt(Request req, int attempt, double fault_ms,
+void Driver::StartAttempt(const Request& req, int attempt, double fault_ms,
                           double penalty_ms, TimeMs dispatch_ms) {
   const TimeMs now = sim_->NowMs();
   ServiceBreakdown bd;
@@ -155,11 +175,11 @@ void Driver::StartAttempt(Request req, int attempt, double fault_ms,
   if (fate == FaultType::kNone) {
     bd.phases[Phase::kQueue] = dispatch_ms - req.arrival_ms;
     bd.phases[Phase::kFault] += fault_ms;
-    const double total_ms = fault_ms + attempt_ms;
-    sim_->ScheduleAfter(attempt_ms,
-                        [this, req, dispatch_ms, total_ms, phases = bd.phases] {
-                          Complete(req, dispatch_ms, total_ms, phases);
-                        });
+    inflight_.req = req;
+    inflight_.dispatch_ms = dispatch_ms;
+    inflight_.total_ms = fault_ms + attempt_ms;
+    inflight_.phases = bd.phases;
+    sim_->ScheduleAfter(attempt_ms, [this] { Complete(); });
     return;
   }
 
@@ -193,15 +213,15 @@ void Driver::StartAttempt(Request req, int attempt, double fault_ms,
   if (attempt >= recovery_.max_retries) {
     // Retry budget exhausted: complete the request marked failed so the
     // workload can observe the error (and metrics count it).
-    req.failed = true;
     metrics_->fault().failed_requests++;
     bd.phases[Phase::kQueue] = dispatch_ms - req.arrival_ms;
     bd.phases[Phase::kFault] += fault_ms + extra_wait;
-    const double total_ms = fault_ms + attempt_ms + extra_wait;
-    sim_->ScheduleAfter(attempt_ms + extra_wait,
-                        [this, req, dispatch_ms, total_ms, phases = bd.phases] {
-                          Complete(req, dispatch_ms, total_ms, phases);
-                        });
+    inflight_.req = req;
+    inflight_.req.failed = true;
+    inflight_.dispatch_ms = dispatch_ms;
+    inflight_.total_ms = fault_ms + attempt_ms + extra_wait;
+    inflight_.phases = bd.phases;
+    sim_->ScheduleAfter(attempt_ms + extra_wait, [this] { Complete(); });
     return;
   }
 
@@ -213,21 +233,36 @@ void Driver::StartAttempt(Request req, int attempt, double fault_ms,
     backoff = recovery_.retry_backoff_ms * static_cast<double>(attempt + 1);
   }
   const double wait = attempt_ms + extra_wait + backoff;
-  sim_->ScheduleAfter(wait, [this, req, attempt, fault_ms, wait, dispatch_ms] {
-    StartAttempt(req, attempt + 1, fault_ms + wait, /*penalty_ms=*/0.0,
-                 dispatch_ms);
+  inflight_.req = req;
+  inflight_.attempt = attempt;
+  inflight_.fault_ms = fault_ms;
+  inflight_.wait_ms = wait;
+  inflight_.dispatch_ms = dispatch_ms;
+  sim_->ScheduleAfter(wait, [this] {
+    // Copy the retry arguments out of inflight_ before StartAttempt
+    // repopulates it for the next pending event.
+    StartAttempt(inflight_.req, inflight_.attempt + 1,
+                 inflight_.fault_ms + inflight_.wait_ms, /*penalty_ms=*/0.0,
+                 inflight_.dispatch_ms);
   });
 }
 
-void Driver::Complete(const Request& req, TimeMs dispatch_ms, double total_ms,
-                      const PhaseBreakdown& phases) {
+void Driver::Complete() {
+  // Metrics and trace read inflight_ in place — nothing re-enters the
+  // driver before the listener loop. Listeners may Submit() and re-dispatch
+  // synchronously, repopulating inflight_, so copy the request for them.
   busy_ = false;
-  metrics_->RecordCompletion(req, sim_->NowMs(), total_ms, phases);
+  metrics_->RecordCompletion(inflight_.req, sim_->NowMs(), inflight_.total_ms,
+                             inflight_.phases);
   if (trace_.enabled()) {
-    EmitRequestTrace(req, dispatch_ms, total_ms, phases);
+    EmitRequestTrace(inflight_.req, inflight_.dispatch_ms, inflight_.total_ms,
+                     inflight_.phases);
   }
-  for (const auto& listener : on_complete_) {
-    listener(req, sim_->NowMs());
+  if (!on_complete_.empty()) {
+    const Request req = inflight_.req;
+    for (const auto& listener : on_complete_) {
+      listener(req, sim_->NowMs());
+    }
   }
   if (scheduler_->Empty()) {
     for (const auto& listener : on_idle_) {

@@ -93,19 +93,33 @@ class Driver {
   void set_trace(TraceTrack trace) { trace_ = trace; }
 
  private:
+  // In-flight attempt state. The driver is single-in-flight (busy_ guards a
+  // second dispatch), so the pending completion/retry event captures only
+  // `this` and reads these members — keeping event captures inside the
+  // queue's inline budget and off the heap.
+  struct Inflight {
+    Request req;
+    int attempt = 0;
+    TimeMs fault_ms = 0.0;    // time burned by earlier failed attempts
+    TimeMs wait_ms = 0.0;     // delay before the pending retry fires
+    TimeMs dispatch_ms = 0.0; // when the request left the queue
+    TimeMs total_ms = 0.0;    // response-after-dispatch for the completion
+    PhaseBreakdown phases;
+  };
+
   void TryDispatch();
   // Runs one dispatch attempt of `req` at the current virtual time.
   // `fault_ms` accumulates the time already burned by earlier failed
   // attempts; `penalty_ms` is the dispatch penalty (first attempt only);
   // `dispatch_ms` is when the request left the queue.
-  void StartAttempt(Request req, int attempt, TimeMs fault_ms, TimeMs penalty_ms,
+  void StartAttempt(const Request& req, int attempt, TimeMs fault_ms, TimeMs penalty_ms,
                     TimeMs dispatch_ms);
   // Services the request's physical extents (post-remap) starting at
   // `start_ms`; returns the device time and fills `bd`.
   [[nodiscard]] double ServiceAttempt(const Request& req, TimeMs start_ms, ServiceBreakdown* bd);
-  // Books completion: metrics, trace, listeners, next dispatch.
-  void Complete(const Request& req, TimeMs dispatch_ms, TimeMs total_ms,
-                const PhaseBreakdown& phases);
+  // Books the pending completion from inflight_: metrics, trace, listeners,
+  // next dispatch.
+  void Complete();
   void EmitRequestTrace(const Request& req, TimeMs dispatch_ms, TimeMs service_ms,
                         const PhaseBreakdown& phases) const;
 
@@ -117,6 +131,9 @@ class Driver {
   std::vector<std::function<void(TimeMs)>> on_idle_;
   std::vector<std::function<void(TimeMs)>> on_active_;
   bool busy_ = false;
+  // Scheduler allows the idle-device dispatch fast path (see Submit).
+  const bool pass_through_ok_;
+  Inflight inflight_;
   double pending_penalty_ms_ = 0.0;
   TraceTrack trace_;
   FaultModel* fault_model_ = nullptr;

@@ -16,7 +16,10 @@ ExperimentResult RunOpenLoop(StorageDevice* device, IoScheduler* scheduler,
   Driver driver(&sim, device, scheduler, &result.metrics);
   driver.set_trace(trace);
   for (const Request& req : requests) {
-    sim.ScheduleAt(req.arrival_ms, [&driver, req] { driver.Submit(req); });
+    // Capture a pointer into `requests` (it outlives the run) to keep the
+    // arrival event inside the queue's inline capture budget.
+    const Request* arrival = &req;
+    sim.ScheduleAt(req.arrival_ms, [&driver, arrival] { driver.Submit(*arrival); });
   }
   sim.Run();
   result.makespan_ms = result.metrics.last_completion_ms();

@@ -25,6 +25,13 @@ class IoScheduler {
   // virtual time. Requires !Empty().
   virtual Request Pop(TimeMs now_ms) = 0;
 
+  // True when an Add immediately followed by a Pop on an empty queue is a
+  // pure pass-through: returns that request and leaves no trace in the
+  // scheduler. Lets the driver skip the queue round-trip for an idle
+  // device. Position-tracking policies (LOOK/CLOOK/SSTF update their sweep
+  // position in Pop) must keep this false.
+  virtual bool PassThroughWhenEmpty() const { return false; }
+
   // Clears all pending requests and per-run state.
   virtual void Reset() = 0;
 };

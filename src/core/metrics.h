@@ -1,8 +1,16 @@
 // Per-run metrics collection: the measurements Figs 5-8 report.
+//
+// Recording is buffered: the driver's hot path appends to struct-of-arrays
+// columns (one contiguous double per measurement) and the Welford summaries
+// are folded in lazily, column by column, the first time a reader asks.
+// Each summary sees its values in exactly the order the un-buffered
+// collector fed them, so every derived statistic is bit-identical to
+// immediate recording — batching changes cache behavior, never results.
 #ifndef MSTK_SRC_CORE_METRICS_H_
 #define MSTK_SRC_CORE_METRICS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/core/request.h"
 #include "src/core/storage_device.h"
@@ -29,8 +37,12 @@ struct FaultCounters {
 
 class MetricsCollector {
  public:
-  // Called by the driver.
-  void RecordArrival(const Request& req, TimeMs now_ms);
+  // Called by the driver. Arrival needs no bookkeeping today; inline no-op
+  // so the hot path pays nothing for the hook.
+  void RecordArrival(const Request& req, TimeMs now_ms) {
+    (void)req;
+    (void)now_ms;
+  }
   void RecordDispatch(const Request& req, TimeMs now_ms, int64_t queue_depth);
   void RecordCompletion(const Request& req, TimeMs now_ms, TimeMs service_ms);
   // As above, also folding the request's per-phase timings into the phase
@@ -40,25 +52,43 @@ class MetricsCollector {
                         const PhaseBreakdown& phases);
 
   // Response time = queue time + service time (the Fig 5a/6a metric).
-  const SummaryStats& response_time() const { return response_time_; }
+  const SummaryStats& response_time() const {
+    Flush();
+    return response_time_;
+  }
   // Service time alone.
-  const SummaryStats& service_time() const { return service_time_; }
+  const SummaryStats& service_time() const {
+    Flush();
+    return service_time_;
+  }
   // Queue time alone.
-  const SummaryStats& queue_time() const { return queue_time_; }
+  const SummaryStats& queue_time() const {
+    Flush();
+    return queue_time_;
+  }
   // Queue depth observed at each dispatch.
-  const SummaryStats& queue_depth() const { return queue_depth_; }
+  const SummaryStats& queue_depth() const {
+    Flush();
+    return queue_depth_;
+  }
   // Per-phase time across completed requests (ms per request).
   const SummaryStats& phase(Phase p) const {
+    Flush();
     return phase_stats_[static_cast<int>(p)];
   }
 
   // sigma^2/mu^2 of response time (the Fig 5b/6b starvation metric).
-  double ResponseScv() const { return response_time_.SquaredCoefficientOfVariation(); }
+  double ResponseScv() const {
+    return response_time().SquaredCoefficientOfVariation();
+  }
 
   // Exact response-time quantile (e.g. 0.99 for tail latency).
-  double ResponseQuantile(double q) { return response_samples_.Quantile(q); }
+  double ResponseQuantile(double q) {
+    Flush();
+    return response_samples_.Quantile(q);
+  }
 
-  int64_t completed() const { return response_time_.count(); }
+  int64_t completed() const { return response_time().count(); }
   TimeMs last_completion_ms() const { return last_completion_ms_; }
 
   // Fault-recovery accounting. The driver writes through the mutable
@@ -78,12 +108,38 @@ class MetricsCollector {
   void ExportTo(MetricsRegistry* registry) const;
 
  private:
-  SummaryStats response_time_;
-  SummaryStats service_time_;
-  SummaryStats queue_time_;
-  SummaryStats queue_depth_;
-  SummaryStats phase_stats_[kPhaseCount];
-  SampleSet response_samples_;
+  // Records buffered per column before a drain. The columns are fixed
+  // inline arrays (12 KiB total): recording is a plain indexed store per
+  // measurement — no capacity checks, no allocation — and a full chunk is
+  // drained with one cache-resident pass per column. Flush points depend
+  // only on the record stream, never on when readers happen to look, so
+  // results don't depend on observation.
+  static constexpr int kFlushChunk = 128;
+
+  // Folds every buffered column into its summary. Const because readers
+  // trigger it from const accessors; buffers and summaries are mutable.
+  void Flush() const;
+
+  // Struct-of-arrays record buffers, appended on the hot path. The three
+  // record streams (dispatches, completions, phase rows) advance their own
+  // counters — the four-argument RecordCompletion is the only phase-row
+  // producer — so mixed three-/four-argument streams still flush every
+  // summary in its own exact record order.
+  mutable double pending_queue_ms_[kFlushChunk];
+  mutable double pending_queue_depth_[kFlushChunk];
+  mutable double pending_response_ms_[kFlushChunk];
+  mutable double pending_service_ms_[kFlushChunk];
+  mutable double pending_phase_ms_[kPhaseCount][kFlushChunk];
+  mutable int pending_dispatches_ = 0;
+  mutable int pending_completions_ = 0;
+  mutable int pending_phase_rows_ = 0;
+
+  mutable SummaryStats response_time_;
+  mutable SummaryStats service_time_;
+  mutable SummaryStats queue_time_;
+  mutable SummaryStats queue_depth_;
+  mutable SummaryStats phase_stats_[kPhaseCount];
+  mutable SampleSet response_samples_;
   TimeMs last_completion_ms_ = 0.0;
   FaultCounters fault_;
   bool exclude_background_ = false;

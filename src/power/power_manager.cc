@@ -57,6 +57,19 @@ class Accounting {
   double startup_carry_ = 0.0;
 };
 
+// Mutable state shared by the run's scheduled events. Scheduled callbacks
+// capture one pointer to this (plus at most one scalar) so they fit the
+// event queue's inline capture budget.
+struct RunState {
+  Simulator* sim = nullptr;
+  Driver* driver = nullptr;
+  Accounting* accounting = nullptr;
+  const DevicePowerParams* power = nullptr;
+  PowerState state = PowerState::kIdle;
+  int64_t idle_epoch = 0;  // invalidates pending standby timers
+  TimeMs standby_since = 0.0;
+};
+
 }  // namespace
 
 PowerResult RunPowerExperiment(StorageDevice* device, IoScheduler* scheduler,
@@ -71,8 +84,11 @@ PowerResult RunPowerExperiment(StorageDevice* device, IoScheduler* scheduler,
   PowerResult result;
   Accounting accounting(power, &result);
 
-  PowerState state = PowerState::kIdle;
-  int64_t idle_epoch = 0;  // invalidates pending standby timers
+  RunState rs;
+  rs.sim = &sim;
+  rs.driver = &driver;
+  rs.accounting = &accounting;
+  rs.power = &power;
   // Adaptive-timeout state (kAdaptiveIdle): halve after worthwhile
   // spin-downs, double after regretted ones.
   double adaptive_timeout = std::max(policy.timeout_ms, policy.min_timeout_ms);
@@ -82,15 +98,15 @@ PowerResult RunPowerExperiment(StorageDevice* device, IoScheduler* scheduler,
   const double savings_mw = std::max(power.idle_mw - power.standby_mw, 1.0);
   const double break_even_ms = power.restart_ms * power.startup_mw / savings_mw;
   const double regret_ms = policy.regret_ms > 0.0 ? policy.regret_ms : break_even_ms;
-  TimeMs standby_since = 0.0;
 
+  // Driver state callbacks are plain std::function — free to capture widely.
   driver.set_on_active([&](TimeMs now) {
-    accounting.CloseInterval(state, now);
-    ++idle_epoch;
-    if (state == PowerState::kStandby) {
+    accounting.CloseInterval(rs.state, now);
+    ++rs.idle_epoch;
+    if (rs.state == PowerState::kStandby) {
       accounting.BeginRestart();
       if (policy.kind == IdlePolicyKind::kAdaptiveIdle) {
-        const double stay_ms = now - standby_since;
+        const double stay_ms = now - rs.standby_since;
         if (stay_ms < regret_ms) {
           adaptive_timeout = std::min(adaptive_timeout * 2.0, policy.max_timeout_ms);
         } else if (stay_ms > 4.0 * regret_ms) {
@@ -98,31 +114,32 @@ PowerResult RunPowerExperiment(StorageDevice* device, IoScheduler* scheduler,
         }
       }
     }
-    state = PowerState::kActive;
+    rs.state = PowerState::kActive;
   });
 
   driver.set_on_idle([&](TimeMs now) {
-    accounting.CloseInterval(state, now);
-    state = PowerState::kIdle;
-    const int64_t epoch = ++idle_epoch;
+    accounting.CloseInterval(rs.state, now);
+    rs.state = PowerState::kIdle;
+    const int64_t epoch = ++rs.idle_epoch;
     switch (policy.kind) {
       case IdlePolicyKind::kAlwaysOn:
         break;
       case IdlePolicyKind::kImmediateIdle:
-        accounting.CloseInterval(state, now);
-        state = PowerState::kStandby;
-        standby_since = now;
+        accounting.CloseInterval(rs.state, now);
+        rs.state = PowerState::kStandby;
+        rs.standby_since = now;
         break;
       case IdlePolicyKind::kTimeoutIdle:
       case IdlePolicyKind::kAdaptiveIdle: {
         const double timeout = policy.kind == IdlePolicyKind::kTimeoutIdle
                                    ? policy.timeout_ms
                                    : adaptive_timeout;
-        sim.ScheduleAfter(timeout, [&, epoch] {
-          if (idle_epoch == epoch && state == PowerState::kIdle) {
-            accounting.CloseInterval(state, sim.NowMs());
-            state = PowerState::kStandby;
-            standby_since = sim.NowMs();
+        RunState* st = &rs;
+        sim.ScheduleAfter(timeout, [st, epoch] {
+          if (st->idle_epoch == epoch && st->state == PowerState::kIdle) {
+            st->accounting->CloseInterval(st->state, st->sim->NowMs());
+            st->state = PowerState::kStandby;
+            st->standby_since = st->sim->NowMs();
           }
         });
         break;
@@ -131,15 +148,19 @@ PowerResult RunPowerExperiment(StorageDevice* device, IoScheduler* scheduler,
   });
 
   for (const Request& req : requests) {
-    sim.ScheduleAt(req.arrival_ms, [&, req] {
-      if (state == PowerState::kStandby && !driver.device_busy()) {
-        driver.AddDispatchPenalty(power.restart_ms);
+    // Capture a pointer into `requests` (it outlives the run) plus the run
+    // state to keep the arrival event inside the inline capture budget.
+    const Request* arrival = &req;
+    RunState* st = &rs;
+    sim.ScheduleAt(req.arrival_ms, [st, arrival] {
+      if (st->state == PowerState::kStandby && !st->driver->device_busy()) {
+        st->driver->AddDispatchPenalty(st->power->restart_ms);
       }
-      driver.Submit(req);
+      st->driver->Submit(*arrival);
     });
   }
   sim.Run();
-  accounting.CloseInterval(state, sim.NowMs());
+  accounting.CloseInterval(rs.state, sim.NowMs());
 
   // Per-bit media energy: the tips draw media_mw only while data passes
   // under them (the §7 "power is linear in bits accessed" term).

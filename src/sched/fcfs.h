@@ -15,6 +15,7 @@ class FcfsScheduler : public IoScheduler {
   bool Empty() const override { return queue_.empty(); }
   int64_t size() const override { return static_cast<int64_t>(queue_.size()); }
   Request Pop(TimeMs now_ms) override;
+  bool PassThroughWhenEmpty() const override { return true; }
   void Reset() override { queue_.clear(); }
 
  private:

@@ -41,6 +41,7 @@ class SptfScheduler : public IoScheduler {
   bool Empty() const override { return pending_.empty(); }
   int64_t size() const override { return static_cast<int64_t>(pending_.size()); }
   Request Pop(TimeMs now_ms) override;
+  bool PassThroughWhenEmpty() const override { return true; }
   void Reset() override { pending_.clear(); }
 
  protected:

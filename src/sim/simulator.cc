@@ -18,9 +18,7 @@ int64_t Simulator::ScheduleAfter(TimeMs delay_ms, Callback cb) {
 int64_t Simulator::Run() {
   int64_t fired = 0;
   while (!queue_.Empty()) {
-    EventQueue::Event event = queue_.Pop();
-    now_ms_ = event.time_ms;
-    event.callback();
+    queue_.FireNext(&now_ms_);
     ++fired;
   }
   return fired;
@@ -29,9 +27,7 @@ int64_t Simulator::Run() {
 int64_t Simulator::RunUntil(TimeMs until_ms) {
   int64_t fired = 0;
   while (!queue_.Empty() && queue_.PeekTime() <= until_ms) {
-    EventQueue::Event event = queue_.Pop();
-    now_ms_ = event.time_ms;
-    event.callback();
+    queue_.FireNext(&now_ms_);
     ++fired;
   }
   if (now_ms_ < until_ms) {

@@ -7,15 +7,6 @@
 
 namespace mstk {
 
-void SummaryStats::Add(double x) {
-  ++count_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
 double SummaryStats::stddev() const { return std::sqrt(variance()); }
 
 double SummaryStats::SquaredCoefficientOfVariation() const {

@@ -2,6 +2,7 @@
 #ifndef MSTK_SRC_SIM_STATS_H_
 #define MSTK_SRC_SIM_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -12,7 +13,25 @@ namespace mstk {
 // Numerically stable running summary (Welford's algorithm).
 class SummaryStats {
  public:
-  void Add(double x);
+  // Inline so callers folding several summaries in one loop (the batched
+  // metrics flush) can overlap the independent update chains; each Add's
+  // mean update is serial through a divide, so cross-summary ILP is the
+  // only parallelism available.
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  // Adds `values[0..n)` in order. Bit-identical to n calls of Add().
+  void AddBatch(const double* values, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) {
+      Add(values[i]);
+    }
+  }
 
   int64_t count() const { return count_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }
@@ -82,6 +101,10 @@ class SampleSet {
  public:
   void Add(double x) {
     samples_.push_back(x);
+    sorted_ = false;
+  }
+  void AddBatch(const double* values, int64_t n) {
+    samples_.insert(samples_.end(), values, values + n);
     sorted_ = false;
   }
   int64_t count() const { return static_cast<int64_t>(samples_.size()); }

@@ -54,13 +54,15 @@ TEST(BackgroundTest, ForegroundGetsPriority) {
       }
     }
   });
+  std::vector<Request> workload(100);
   for (int i = 0; i < 100; ++i) {
-    Request req;
+    Request& req = workload[static_cast<size_t>(i)];
     req.id = i;
     req.lbn = rng.UniformInt(device.CapacityBlocks() - 8);
     req.block_count = 8;
     req.arrival_ms = i * 0.5;  // arrivals every 0.5 ms: rarely a 2 ms gap
-    sim.ScheduleAt(req.arrival_ms, [&driver, req] { driver.Submit(req); });
+    const Request* arrival = &req;
+    sim.ScheduleAt(req.arrival_ms, [&driver, arrival] { driver.Submit(*arrival); });
   }
   sim.Run();
   EXPECT_EQ(fg_done_by_100, 100);  // foreground finished promptly
@@ -86,13 +88,15 @@ TEST(BackgroundTest, HysteresisSuppressesInjectionInShortGaps) {
         ++fg_count;
       }
     });
+    std::vector<Request> workload(200);
     for (int i = 0; i < 200; ++i) {
-      Request req;
+      Request& req = workload[static_cast<size_t>(i)];
       req.id = i;
       req.lbn = rng.UniformInt(device.CapacityBlocks() - 8);
       req.block_count = 8;
       req.arrival_ms = i * 3.0;  // ~2 ms idle gaps between requests
-      sim.ScheduleAt(req.arrival_ms, [&driver, req] { driver.Submit(req); });
+      const Request* arrival = &req;
+      sim.ScheduleAt(req.arrival_ms, [&driver, arrival] { driver.Submit(*arrival); });
     }
     sim.RunUntil(200 * 3.0 + 50.0);
     return fg_total / static_cast<double>(fg_count);
@@ -114,7 +118,8 @@ TEST(BackgroundTest, NoTasksIsInert) {
   Request req;
   req.lbn = 0;
   req.block_count = 8;
-  sim.ScheduleAt(0.0, [&driver, req] { driver.Submit(req); });
+  const Request* arrival = &req;
+  sim.ScheduleAt(0.0, [&driver, arrival] { driver.Submit(*arrival); });
   sim.Run();
   EXPECT_TRUE(bg.Done());
   EXPECT_EQ(bg.completed(), 0);

@@ -71,13 +71,15 @@ TEST(CompositionTest, BackgroundWorkOnCachedDevice) {
   BackgroundRunner bg(&sim, &driver, tasks, 1.0);
 
   Rng rng(5);
+  std::vector<Request> workload(200);
   for (int i = 0; i < 200; ++i) {
-    Request req;
+    Request& req = workload[static_cast<size_t>(i)];
     req.id = i;
     req.lbn = rng.UniformInt(cache.CapacityBlocks() - 8);
     req.block_count = 8;
     req.arrival_ms = i * 5.0;
-    sim.ScheduleAt(req.arrival_ms, [&driver, req] { driver.Submit(req); });
+    const Request* arrival = &req;
+    sim.ScheduleAt(req.arrival_ms, [&driver, arrival] { driver.Submit(*arrival); });
   }
   sim.Run();
   EXPECT_TRUE(bg.Done());

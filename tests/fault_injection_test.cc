@@ -69,8 +69,10 @@ TEST(FaultRecoveryTest, TransientErrorRetriedToSuccessWithExactCounts) {
   driver.EnableRecovery(&model, RecoveryPolicy{});
 
   const int64_t kRequests = 50;
-  for (const Request& req : SmallWorkload(device, 100.0, kRequests)) {
-    sim.ScheduleAt(req.arrival_ms, [&driver, req] { driver.Submit(req); });
+  const std::vector<Request> workload = SmallWorkload(device, 100.0, kRequests);
+  for (const Request& req : workload) {
+    const Request* arrival = &req;
+    sim.ScheduleAt(req.arrival_ms, [&driver, arrival] { driver.Submit(*arrival); });
   }
   sim.Run();
 
@@ -164,12 +166,14 @@ TEST(FaultRecoveryTest, PermanentFaultConsumesSparesThenDegrades) {
       [&](int64_t lbn, int32_t blocks) { rebuilds.emplace_back(lbn, blocks); });
 
   // Four well-separated requests: two remap, then spares run out.
+  std::vector<Request> workload(4);
   for (int i = 0; i < 4; ++i) {
-    Request req;
+    Request& req = workload[static_cast<size_t>(i)];
     req.lbn = 10000 * (i + 1);
     req.block_count = 8;
     req.arrival_ms = 100.0 * i;
-    sim.ScheduleAt(req.arrival_ms, [&driver, req] { driver.Submit(req); });
+    const Request* arrival = &req;
+    sim.ScheduleAt(req.arrival_ms, [&driver, arrival] { driver.Submit(*arrival); });
   }
   sim.Run();
 

@@ -23,10 +23,10 @@ TEST(SimulatorTest, EventsCanScheduleEvents) {
   std::function<void()> step = [&] {
     ++chain;
     if (chain < 5) {
-      sim.ScheduleAfter(1.0, step);
+      sim.ScheduleAfter(1.0, [&step] { step(); });
     }
   };
-  sim.ScheduleAfter(1.0, step);
+  sim.ScheduleAfter(1.0, [&step] { step(); });
   sim.Run();
   EXPECT_EQ(chain, 5);
   EXPECT_DOUBLE_EQ(sim.NowMs(), 5.0);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/thread_pool.h"
 
 namespace {
@@ -157,7 +158,7 @@ std::string RunSweepJson(const std::string& sweep, const std::vector<SweepCell>&
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [SWEEP] [--trials N] [--jobs N] [--seed S] [--json PATH]\n"
-               "          [--trace PATH]\n"
+               "          [--trace PATH] [--queue-backend calendar|heap]\n"
                "       %s --list\n"
                "       %s [SWEEP] --selfcheck   (compare --jobs 1 vs parallel run)\n"
                "sweeps: smoke sched_random sched_cello sched_tpcc faults\n",
@@ -211,6 +212,17 @@ int main(int argc, char** argv) {
       trace_path = next();
     } else if (std::strcmp(arg, "--selfcheck") == 0) {
       selfcheck = true;
+    } else if (std::strcmp(arg, "--queue-backend") == 0) {
+      // A/B escape hatch: results must be byte-identical under either
+      // backend, so the flag is deliberately absent from the JSON.
+      const char* backend = next();
+      if (std::strcmp(backend, "heap") == 0) {
+        EventQueue::SetDefaultBackend(EventQueue::Backend::kHeap);
+      } else if (std::strcmp(backend, "calendar") == 0) {
+        EventQueue::SetDefaultBackend(EventQueue::Backend::kCalendar);
+      } else {
+        return Usage(argv[0]);
+      }
     } else if (arg[0] != '-') {
       sweep = arg;
     } else {
