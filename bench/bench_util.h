@@ -29,6 +29,8 @@
 #include "src/core/trial_runner.h"
 #include "src/disk/disk_device.h"
 #include "src/fault/fault_experiment.h"
+#include "src/layout/layout_map.h"
+#include "src/layout/layout_policy.h"
 #include "src/mems/mems_device.h"
 #include "src/sched/clook.h"
 #include "src/sched/fcfs.h"
@@ -51,6 +53,9 @@ struct BenchOptions {
   // Per-attempt transient-error probability for fault-injection sections
   // (0 disables injection; see docs/USAGE.md "Fault injection").
   double fault_rate = 0.0;
+  // Layout-policy selection for the layout benches: "legacy" (default),
+  // "all", or a comma list of policy names (see LayoutPolicyNames()).
+  std::string layouts;
   std::string json_path;
   std::string trace_path;
 
@@ -77,6 +82,8 @@ struct BenchOptions {
         opts.seed = std::strtoull(next(), nullptr, 10);
       } else if (std::strcmp(arg, "--fault-rate") == 0) {
         opts.fault_rate = std::atof(next());
+      } else if (std::strcmp(arg, "--layouts") == 0) {
+        opts.layouts = next();
       } else if (std::strcmp(arg, "--json") == 0) {
         opts.json_path = next();
       } else if (std::strcmp(arg, "--trace") == 0) {
@@ -84,7 +91,8 @@ struct BenchOptions {
       } else {
         std::fprintf(stderr,
                      "usage: %s [--csv] [--fast] [--trials N] [--jobs N] "
-                     "[--seed S] [--fault-rate P] [--json PATH] [--trace PATH]\n",
+                     "[--seed S] [--fault-rate P] [--layouts L] [--json PATH] "
+                     "[--trace PATH]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -325,6 +333,51 @@ inline ExperimentResult RunFaultedDiskTrial(SchedKind kind, double rate, int64_t
   }
   FcfsScheduler sched;
   return RunFaultInjectedOpenLoop(&device, &sched, requests, config, fault_seed, trace);
+}
+
+// One layout-cube cell trial (tools/mstk_sweep `layouts` matrix): a
+// bipartite open-loop read stream in the Fig 11 mix (89% 4 KB accesses to a
+// hot pool, 11% 64 KB reads from a cold pool) — or a cello-like trace when
+// `cello` is set — generated over the policy's logical space, mapped through
+// the policy's ExtentLayout, and run under `kind` on a fresh MEMS device.
+inline ExperimentResult RunLayoutSchedTrial(const LayoutPolicy& policy, bool cello,
+                                            SchedKind kind, int64_t count, uint64_t seed,
+                                            TraceTrack trace = {}) {
+  MemsDevice device;
+  LayoutSpec spec;
+  spec.geometry = &device.geometry();
+  spec.device_capacity_blocks = device.CapacityBlocks();
+  spec.hot_blocks = 200000;
+  spec.cold_blocks = 800000;
+  const ExtentLayout layout = policy.Build(spec);
+  const int64_t logical_blocks = spec.hot_blocks + spec.cold_blocks;
+  Rng rng(seed);
+  std::vector<Request> logical;
+  if (cello) {
+    CelloLikeConfig config;
+    config.request_count = count;
+    config.capacity_blocks = logical_blocks;
+    logical = GenerateCelloLike(config, rng);
+  } else {
+    RandomWorkloadConfig config;
+    config.arrival_rate_per_s = 500.0;
+    config.request_count = count;
+    config.capacity_blocks = logical_blocks;
+    logical = GenerateRandomWorkload(config, rng);
+    // Reshape into the bipartite mix; arrivals keep the Poisson process.
+    for (Request& req : logical) {
+      req.type = IoType::kRead;
+      if (rng.Bernoulli(0.11)) {
+        req.block_count = 128;  // 64 KB cold read
+        req.lbn = spec.hot_blocks + rng.UniformInt(spec.cold_blocks - req.block_count);
+      } else {
+        req.block_count = 8;  // 4 KB hot read
+        req.lbn = rng.UniformInt(spec.hot_blocks - req.block_count);
+      }
+    }
+  }
+  const std::vector<Request> mapped = ApplyLayout(layout, logical);
+  return RunWithScheduler(&device, kind, mapped, trace);
 }
 
 // One Fig 7(a) cell trial: cello-like trace at time-scale `scale`.

@@ -1,20 +1,26 @@
 // Figure 11: comparison of data layout schemes (§5.3).
 //
 // Workload: 10,000 read requests; 89% "small" (4 KB) to a pool of popular
-// small objects, 11% "large" (400 KB) whole-stream reads. Layouts:
-//   simple      — aged-filesystem placement: every object/stream at a
-//                 uniform random spot on the device (linear LBN mapping,
-//                 no locality management)
-//   organ-pipe  — frequency-ranked placement around the device center
-//                 [VC90, RW91]; per-unit access frequency decides rank,
-//                 with ~1 large access per 8 small ones
-//   subregioned — bipartite 5x5 grid: small pool in the centermost cell,
-//                 streams in the 10 leftmost + 10 rightmost cells
-//   columnar    — bipartite 25-column split: small pool in the center
-//                 column, streams in the outer 20 columns
+// small objects, 11% "large" (400 KB) whole-stream reads. Layout rows come
+// from the LayoutPolicy registry (src/layout/layout_policy.h), selected with
+// --layouts:
+//   legacy (default) — the paper's four §5.3 schemes:
+//     simple      — aged-filesystem placement: every object/stream at a
+//                   uniform random spot on the device (linear LBN mapping,
+//                   no locality management)
+//     organ-pipe  — frequency-ranked placement around the device center
+//                   [VC90, RW91]; per-unit access frequency decides rank,
+//                   with ~1 large access per 8 small ones
+//     subregioned — bipartite 5x5 grid: small pool in the centermost cell,
+//                   streams in the 10 leftmost + 10 rightmost cells
+//     columnar    — bipartite 25-column split: small pool in the center
+//                   column, streams in the outer 20 columns
+//   all              — legacy plus the KAIST region-model strategies
+//                      (region-seq, tiled, hot-cold; arXiv:0807.4580)
+//   name,name,...    — an explicit row list by policy name
 //
 // Devices: MEMS (default), MEMS with zero settle, and the Atlas 10K
-// (simple and organ-pipe only — the bipartite schemes are MEMS-specific).
+// (simple and organ-pipe only — the region-based schemes are MEMS-specific).
 //
 // Expected shape (paper): organ pipe, subregioned, and columnar all beat
 // simple by 13-20% on MEMS; subregioned/columnar edge out organ pipe; with
@@ -24,15 +30,16 @@
 // Multi-trial: with --trials N each cell replays N access streams (and, for
 // the simple layout, N random placements); streams depend only on the trial
 // seed, so every layout/device cell of a trial sees the same accesses. The
-// shared bipartite/organ-pipe placements are deterministic and read-only,
-// so trials fan out across --jobs workers safely.
+// shared policy/organ-pipe placements are deterministic and read-only, so
+// trials fan out across --jobs workers safely.
 #include <cstdio>
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/disk/disk_device.h"
-#include "src/layout/placements.h"
+#include "src/layout/layout_policy.h"
 
 namespace {
 
@@ -66,7 +73,7 @@ std::vector<Access> MakeAccesses(int64_t count, Rng& rng) {
 struct Placement {
   std::vector<int64_t> small_base;   // per object
   std::vector<int64_t> stream_base;  // per stream (contiguous kStreamBlocks)
-  const LayoutMap* bipartite = nullptr;  // set for subregioned/columnar
+  const LayoutMap* bipartite = nullptr;  // set for policy-built layouts
 };
 
 Placement MakeSimplePlacement(int64_t capacity, Rng& rng) {
@@ -161,8 +168,62 @@ TrialMetrics MeasureAccesses(StorageDevice* device, const Placement& placement,
   };
 }
 
-enum class LayoutKind { kSimple, kOrganPipe, kSubregioned, kColumnar };
 enum class DeviceKind { kMems, kNoSettle, kAtlas };
+
+// One bench row: simple and organ-pipe keep their bespoke Fig 11 placements
+// (random per trial / frequency-ranked interleave, both of which the
+// ExtentLayout factories cannot express); every other row is a registry
+// policy measured through its built layout.
+struct RowSpec {
+  std::string name;
+  bool bespoke_simple = false;
+  bool bespoke_organ = false;
+  const ExtentLayout* layout = nullptr;
+  bool has_disk = false;  // Atlas column (device-agnostic placements only)
+};
+
+// Expands --layouts into an ordered row list. Legacy order matches the
+// pre-registry bench (simple, organ-pipe, subregioned, columnar) so default
+// output stays byte-identical; "all" appends the remaining registry
+// policies in registration order.
+std::vector<std::string> SelectLayoutNames(const std::string& flag, const char* argv0) {
+  const std::vector<std::string> legacy = {"simple", "organ-pipe", "subregioned",
+                                           "columnar"};
+  if (flag.empty() || flag == "legacy") {
+    return legacy;
+  }
+  if (flag == "all") {
+    std::vector<std::string> names = legacy;
+    for (const LayoutPolicy* policy : AllLayoutPolicies()) {
+      bool present = false;
+      for (const std::string& have : names) {
+        present = present || have == policy->name();
+      }
+      if (!present) {
+        names.push_back(policy->name());
+      }
+    }
+    return names;
+  }
+  std::vector<std::string> names;
+  std::string token;
+  for (size_t i = 0; i <= flag.size(); ++i) {
+    if (i == flag.size() || flag[i] == ',') {
+      if (!token.empty()) {
+        names.push_back(token);
+      }
+      token.clear();
+    } else {
+      token.push_back(flag[i]);
+    }
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "%s: --layouts needs legacy, all, or policy names (%s)\n",
+                 argv0, LayoutPolicyNames().c_str());
+    std::exit(2);
+  }
+  return names;
+}
 
 }  // namespace
 
@@ -177,22 +238,44 @@ int main(int argc, char** argv) {
   const DiskDevice atlas_probe;
   const Placement organ_mems = MakeOrganPipePlacement(mems_probe.CapacityBlocks());
   const Placement organ_disk = MakeOrganPipePlacement(atlas_probe.CapacityBlocks());
-  const ExtentLayout subregioned =
-      MakeSubregionedBipartiteLayout(mems_probe.geometry(), kSmallPool, kLargePool);
-  const ExtentLayout columnar =
-      MakeColumnarBipartiteLayout(mems_probe.geometry(), kSmallPool, kLargePool);
-  Placement sub_place;
-  sub_place.bipartite = &subregioned;
-  Placement col_place;
-  col_place.bipartite = &columnar;
+
+  LayoutSpec spec;
+  spec.geometry = &mems_probe.geometry();
+  spec.device_capacity_blocks = mems_probe.CapacityBlocks();
+  spec.hot_blocks = kSmallPool;
+  spec.cold_blocks = kLargePool;
+
+  std::deque<ExtentLayout> built;  // stable addresses for RowSpec::layout
+  std::vector<RowSpec> specs;
+  for (const std::string& name : SelectLayoutNames(opts.layouts, argv[0])) {
+    RowSpec row;
+    row.name = name;
+    if (name == "simple") {
+      row.bespoke_simple = true;
+      row.has_disk = true;
+    } else if (name == "organ-pipe") {
+      row.bespoke_organ = true;
+      row.has_disk = true;
+    } else {
+      const LayoutPolicy* policy = FindLayoutPolicy(name);
+      if (policy == nullptr) {
+        std::fprintf(stderr, "%s: unknown layout '%s' (known: %s)\n", argv[0],
+                     name.c_str(), LayoutPolicyNames().c_str());
+        return 2;
+      }
+      built.push_back(policy->Build(spec));
+      row.layout = &built.back();
+    }
+    specs.push_back(std::move(row));
+  }
 
   TrialRunner::Options trial_opts = opts.TrialOptions();
   trial_opts.base_seed = DeriveTrialSeed(opts.seed, 55);
 
   // One (layout, device) cell: N trials, each replaying a fresh access
   // stream (same stream across all cells of a trial) on a fresh device.
-  auto run_cell = [&](LayoutKind layout, DeviceKind device_kind) {
-    return TrialRunner::Run(trial_opts, [&, layout, device_kind](uint64_t seed, int64_t) {
+  auto run_cell = [&](const RowSpec& row, DeviceKind device_kind) {
+    return TrialRunner::Run(trial_opts, [&, device_kind](uint64_t seed, int64_t) {
       Rng rng(seed);
       const std::vector<Access> accesses = MakeAccesses(count, rng);
 
@@ -205,22 +288,19 @@ int main(int argc, char** argv) {
                                   ? static_cast<StorageDevice*>(&atlas)
                                   : &mems;
 
-      switch (layout) {
-        case LayoutKind::kSimple: {
-          Rng place_rng(DeriveTrialSeed(seed, 77));
-          const Placement p = MakeSimplePlacement(device->CapacityBlocks(), place_rng);
-          return MeasureAccesses(device, p, accesses);
-        }
-        case LayoutKind::kOrganPipe:
-          return MeasureAccesses(
-              device, device_kind == DeviceKind::kAtlas ? organ_disk : organ_mems,
-              accesses);
-        case LayoutKind::kSubregioned:
-          return MeasureAccesses(device, sub_place, accesses);
-        case LayoutKind::kColumnar:
-          return MeasureAccesses(device, col_place, accesses);
+      if (row.bespoke_simple) {
+        Rng place_rng(DeriveTrialSeed(seed, 77));
+        const Placement p = MakeSimplePlacement(device->CapacityBlocks(), place_rng);
+        return MeasureAccesses(device, p, accesses);
       }
-      return TrialMetrics{};
+      if (row.bespoke_organ) {
+        return MeasureAccesses(
+            device, device_kind == DeviceKind::kAtlas ? organ_disk : organ_mems,
+            accesses);
+      }
+      Placement p;
+      p.bipartite = row.layout;
+      return MeasureAccesses(device, p, accesses);
     });
   };
 
@@ -228,28 +308,18 @@ int main(int argc, char** argv) {
     AggregateResult mems, nosettle, disk;
     bool has_disk;
   };
-  const struct {
-    const char* name;
-    LayoutKind layout;
-    bool has_disk;
-  } kRows[] = {
-      {"simple", LayoutKind::kSimple, true},
-      {"organ-pipe", LayoutKind::kOrganPipe, true},
-      {"subregioned", LayoutKind::kSubregioned, false},
-      {"columnar", LayoutKind::kColumnar, false},
-  };
 
-  std::vector<std::pair<const char*, RowResult>> rows;
-  for (const auto& spec : kRows) {
+  std::vector<std::pair<std::string, RowResult>> rows;
+  for (const RowSpec& row : specs) {
     RowResult r;
-    r.mems = run_cell(spec.layout, DeviceKind::kMems);
-    r.nosettle = run_cell(spec.layout, DeviceKind::kNoSettle);
-    r.has_disk = spec.has_disk;
-    if (spec.has_disk) r.disk = run_cell(spec.layout, DeviceKind::kAtlas);
-    json.AddCell(std::string(spec.name) + "/mems", r.mems);
-    json.AddCell(std::string(spec.name) + "/nosettle", r.nosettle);
-    if (spec.has_disk) json.AddCell(std::string(spec.name) + "/atlas", r.disk);
-    rows.push_back({spec.name, std::move(r)});
+    r.mems = run_cell(row, DeviceKind::kMems);
+    r.nosettle = run_cell(row, DeviceKind::kNoSettle);
+    r.has_disk = row.has_disk;
+    if (row.has_disk) r.disk = run_cell(row, DeviceKind::kAtlas);
+    json.AddCell(row.name + "/mems", r.mems);
+    json.AddCell(row.name + "/nosettle", r.nosettle);
+    if (row.has_disk) json.AddCell(row.name + "/atlas", r.disk);
+    rows.push_back({row.name, std::move(r)});
   }
 
   std::printf("Figure 11: mean access time (ms) by layout and device\n");
@@ -265,23 +335,25 @@ int main(int argc, char** argv) {
               12);
   }
 
-  std::printf("\nImprovement over the simple layout (%%):\n");
-  table.Row({"layout", "MEMS", "MEMS-nosettle", "Atlas10K"});
-  const RowResult& base = rows[0].second;
-  for (size_t i = 1; i < rows.size(); ++i) {
-    const RowResult& r = rows[i].second;
-    table.Row(
-        {rows[i].first,
-         Fmt("%.1f", (1.0 - r.mems.Get("mean_ms").mean / base.mems.Get("mean_ms").mean) *
-                         100.0),
-         Fmt("%.1f", (1.0 - r.nosettle.Get("mean_ms").mean /
-                                base.nosettle.Get("mean_ms").mean) *
-                         100.0),
-         r.has_disk
-             ? Fmt("%.1f", (1.0 - r.disk.Get("mean_ms").mean /
-                                      base.disk.Get("mean_ms").mean) *
-                               100.0)
-             : "-"});
+  if (rows.size() > 1) {
+    std::printf("\nImprovement over the %s layout (%%):\n", rows[0].first.c_str());
+    table.Row({"layout", "MEMS", "MEMS-nosettle", "Atlas10K"});
+    const RowResult& base = rows[0].second;
+    for (size_t i = 1; i < rows.size(); ++i) {
+      const RowResult& r = rows[i].second;
+      table.Row(
+          {rows[i].first,
+           Fmt("%.1f", (1.0 - r.mems.Get("mean_ms").mean / base.mems.Get("mean_ms").mean) *
+                           100.0),
+           Fmt("%.1f", (1.0 - r.nosettle.Get("mean_ms").mean /
+                                  base.nosettle.Get("mean_ms").mean) *
+                           100.0),
+           r.has_disk && base.has_disk
+               ? Fmt("%.1f", (1.0 - r.disk.Get("mean_ms").mean /
+                                        base.disk.Get("mean_ms").mean) *
+                                 100.0)
+               : "-"});
+    }
   }
   return json.WriteIfRequested() ? 0 : 1;
 }

@@ -8,11 +8,21 @@
 //
 // Expected shape (paper): center cell fastest; corner cells 10-20% slower;
 // values fall in the ~0.3-0.55 ms range.
+//
+// The table view also prints each registry LayoutPolicy's hot-region
+// footprint on its own region grid (which regions the policy fills first,
+// and how much of the Fig 11 small pool the hot set covers); --json writes
+// the grid and the footprints as one document. The --csv stream is the grid
+// only, unchanged from the pre-registry bench.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/layout/layout_policy.h"
+#include "src/layout/region_model.h"
 #include "src/mems/mems_device.h"
+#include "src/sim/json_writer.h"
 #include "src/sim/rng.h"
 
 namespace {
@@ -60,6 +70,44 @@ double SubregionMean(MemsDevice& device, int dx_bits, int dy_bits, int64_t count
   return total / static_cast<double>(count);
 }
 
+// One hot-region footprint row: how `policy` would place the Fig 11 small
+// pool (200,000 blocks) on its own region grid.
+struct Footprint {
+  std::string policy;
+  int32_t x_regions;
+  int32_t y_regions;
+  int32_t hot_regions;      // shortest hot-order prefix covering the pool
+  int64_t hot_blocks;       // capacity of that prefix
+  std::vector<int32_t> order;  // full hot-region preference order
+};
+
+std::vector<Footprint> MakeFootprints(const MemsGeometry& geometry) {
+  constexpr int64_t kSmallPool = 200000;
+  std::vector<Footprint> footprints;
+  for (const LayoutPolicy* policy : AllLayoutPolicies()) {
+    if (!policy->needs_mems_geometry()) {
+      continue;  // device-agnostic policies have no region structure
+    }
+    const LogicalRegionModel model = policy->Regions(geometry);
+    Footprint f;
+    f.policy = policy->name();
+    f.x_regions = model.x_regions();
+    f.y_regions = model.y_regions();
+    f.order = policy->HotRegionOrder(model);
+    f.hot_regions = 0;
+    f.hot_blocks = 0;
+    for (const int32_t region : f.order) {
+      if (f.hot_blocks >= kSmallPool) {
+        break;
+      }
+      f.hot_blocks += model.RegionBlocks(region);
+      ++f.hot_regions;
+    }
+    footprints.push_back(std::move(f));
+  }
+  return footprints;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,6 +125,11 @@ int main(int argc, char** argv) {
   if (opts.csv) {
     std::printf("dx_bits,dy_bits,with_settle_ms,no_settle_ms\n");
   }
+  struct Cell {
+    int dx, dy;
+    double with_settle_ms, no_settle_ms;
+  };
+  std::vector<Cell> cells;
   // Print rows top (dy=+800) to bottom, like the paper's figure.
   for (int yi = 4; yi >= 0; --yi) {
     const int dy = offsets[yi];
@@ -89,6 +142,8 @@ int main(int argc, char** argv) {
           SubregionMean(with_settle, offsets[xi], dy, count, rng);
       unsettled[static_cast<size_t>(xi)] =
           SubregionMean(no_settle, offsets[xi], dy, count, rng2);
+      cells.push_back(Cell{offsets[xi], dy, settled[static_cast<size_t>(xi)],
+                           unsettled[static_cast<size_t>(xi)]});
       if (opts.csv) {
         std::printf("%d,%d,%.4f,%.4f\n", offsets[xi], dy,
                     settled[static_cast<size_t>(xi)], unsettled[static_cast<size_t>(xi)]);
@@ -103,6 +158,57 @@ int main(int argc, char** argv) {
         std::printf("  %6.3f             ", unsettled[static_cast<size_t>(xi)]);
       }
       std::printf("\n\n");
+    }
+  }
+
+  const std::vector<Footprint> footprints = MakeFootprints(with_settle.geometry());
+  if (!opts.csv) {
+    std::printf("Hot-region footprints (200,000-block small pool per policy):\n");
+    std::printf("%-14s %-7s %-8s %-11s %s\n", "policy", "grid", "regions",
+                "hot(count)", "hot-order prefix");
+    for (const Footprint& f : footprints) {
+      std::string prefix;
+      for (size_t i = 0; i < f.order.size() && i < 6; ++i) {
+        if (i > 0) prefix += ",";
+        prefix += std::to_string(f.order[i]);
+      }
+      if (f.order.size() > 6) prefix += ",...";
+      std::printf("%-14s %2dx%-4d %-8d %-11s %s\n", f.policy.c_str(), f.x_regions,
+                  f.y_regions, f.x_regions * f.y_regions,
+                  (std::to_string(f.hot_regions) + " regions").c_str(), prefix.c_str());
+    }
+  }
+
+  if (!opts.json_path.empty()) {
+    JsonWriter json;
+    json.BeginObject();
+    json.KV("bench", "fig9_subregion_map");
+    json.Key("cells");
+    json.BeginArray();
+    for (const Cell& c : cells) {
+      json.BeginObject();
+      json.KV("dx_bits", static_cast<int64_t>(c.dx));
+      json.KV("dy_bits", static_cast<int64_t>(c.dy));
+      json.KV("with_settle_ms", c.with_settle_ms);
+      json.KV("no_settle_ms", c.no_settle_ms);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("footprints");
+    json.BeginArray();
+    for (const Footprint& f : footprints) {
+      json.BeginObject();
+      json.KV("policy", f.policy);
+      json.KV("x_regions", static_cast<int64_t>(f.x_regions));
+      json.KV("y_regions", static_cast<int64_t>(f.y_regions));
+      json.KV("hot_regions", static_cast<int64_t>(f.hot_regions));
+      json.KV("hot_blocks", f.hot_blocks);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    if (!WriteFileOrReport(opts.json_path, json.TakeString())) {
+      return 1;
     }
   }
   return 0;

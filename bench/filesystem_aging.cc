@@ -8,7 +8,11 @@
 //   grouped    — FFS-style allocation groups [MJLF84]: spreads files
 //                across the device by design,
 //   bipartite  — MEMS-aware (§5.3): metadata *and small files* from the
-//                center cylinders, large files outside.
+//                center cylinders, large files outside,
+//   region-2d  — 2-D locality-aware (MEMS only): per-region free pools over
+//                the tiled policy's 5x5 grid; metadata and small files walk
+//                the center-out hot-region order, large files fill the
+//                outer regions (src/fs/allocator.h, AllocPolicy::kRegion2D).
 //
 // Expected shape (and finding): what matters is the compactness of the hot
 // set. Spreading (grouped) hurts on both devices when the probe stream has
@@ -39,19 +43,11 @@ struct AgingResult {
 
 
 
-AgingResult RunAging(StorageDevice& device, AllocPolicy policy, int64_t churn_ops) {
+AgingResult RunAging(StorageDevice& device, const AllocatorConfig& allocator,
+                     int64_t churn_ops) {
   device.Reset();
   MiniFsConfig config;
-  config.allocator.policy = policy;
-  // The volume spans the whole device: placement policy decides where
-  // data physically lands.
-  const int64_t volume = device.CapacityBlocks();
-  config.allocator.capacity_blocks = volume;
-  config.allocator.groups = 64;
-  config.allocator.center_start = volume * 2 / 5;
-  config.allocator.center_end = volume * 3 / 5;
-  // Small files (and all metadata) share the center region (§5.3).
-  config.allocator.center_small_blocks = 256;  // <= 128 KB
+  config.allocator = allocator;
   MiniFs fs(config, &device);
 
   Rng rng(13);
@@ -151,6 +147,20 @@ int main(int argc, char** argv) {
       {"bipartite", AllocPolicy::kBipartite},
   };
 
+  // The volume spans the whole device: placement policy decides where data
+  // physically lands. Small files (and all metadata) share the center
+  // region / hot region set (§5.3).
+  auto make_config = [](int64_t volume, AllocPolicy policy) {
+    AllocatorConfig a;
+    a.policy = policy;
+    a.capacity_blocks = volume;
+    a.groups = 64;
+    a.center_start = volume * 2 / 5;
+    a.center_end = volume * 3 / 5;
+    a.center_small_blocks = 256;  // <= 128 KB
+    return a;
+  };
+
   for (const bool mems : {true, false}) {
     std::unique_ptr<StorageDevice> device;
     if (mems) {
@@ -158,13 +168,26 @@ int main(int argc, char** argv) {
     } else {
       device = std::make_unique<DiskDevice>();
     }
+    const int64_t volume = device->CapacityBlocks();
     std::printf("%s, aged whole-device volume (%lld churn ops)\n",
                 mems ? "MEMS" : "Atlas 10K", static_cast<long long>(churn));
     table.Row({"policy", "small_read_ms", "large_MB_s", "create_ms", "ext/file"});
     for (const auto& p : policies) {
-      const AgingResult r = RunAging(*device, p.policy, churn);
+      const AgingResult r = RunAging(*device, make_config(volume, p.policy), churn);
       table.Row({p.name, Fmt("%.3f", r.small_read_ms), Fmt("%.1f", r.large_scan_mb_s),
                  Fmt("%.3f", r.create_ms), Fmt("%.2f", r.extents_per_file)});
+    }
+    if (mems) {
+      // 2-D allocator over the tiled policy's grid; the hot set matches the
+      // bipartite center's share of the volume (1/5).
+      AllocatorConfig region = MakeRegionAllocatorConfig(
+          *FindLayoutPolicy("tiled"),
+          static_cast<const MemsDevice*>(device.get())->geometry(),
+          /*hot_capacity_blocks=*/volume / 5, /*small_file_blocks=*/256);
+      const AgingResult r = RunAging(*device, region, churn);
+      table.Row({"region-2d", Fmt("%.3f", r.small_read_ms),
+                 Fmt("%.1f", r.large_scan_mb_s), Fmt("%.3f", r.create_ms),
+                 Fmt("%.2f", r.extents_per_file)});
     }
     std::printf("\n");
   }

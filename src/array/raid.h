@@ -73,8 +73,8 @@ class RaidArray : public StorageDevice {
     int member;
     int64_t lbn;
   };
-  MemberBlock MapRaid0(int64_t array_lbn) const;
-  MemberBlock MapRaid5Data(int64_t array_lbn) const;
+  [[nodiscard]] MemberBlock MapRaid0(int64_t array_lbn) const;
+  [[nodiscard]] MemberBlock MapRaid5Data(int64_t array_lbn) const;
   // Parity member for a RAID-5 stripe row.
   int Raid5ParityMember(int64_t row) const;
 

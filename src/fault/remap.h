@@ -36,7 +36,7 @@ class DefectRemapper {
   RemapStyle style() const { return style_; }
 
   // Translates a logical extent into the physical extents actually accessed.
-  std::vector<PhysExtent> Map(int64_t lbn, int32_t blocks) const;
+  [[nodiscard]] std::vector<PhysExtent> Map(int64_t lbn, int32_t blocks) const;
 
   // Remaps a request stream (splitting requests at discontinuities).
   std::vector<Request> Apply(const std::vector<Request>& requests) const;

@@ -114,8 +114,76 @@ bool Allocator::FreeMap::TakeContiguous(int64_t blocks, int64_t from, PhysExtent
   return false;
 }
 
+AllocatorConfig MakeRegionAllocatorConfig(const LayoutPolicy& policy,
+                                          const MemsGeometry& geometry,
+                                          int64_t hot_capacity_blocks,
+                                          int64_t small_file_blocks,
+                                          int64_t reserve_tail_blocks) {
+  AllocatorConfig config;
+  config.policy = AllocPolicy::kRegion2D;
+  config.center_small_blocks = small_file_blocks;
+  const LogicalRegionModel model = policy.Regions(geometry);
+  const int64_t limit = model.TotalBlocks() - reserve_tail_blocks;
+  MSTK_CHECK(limit > 0, "reserve exceeds device capacity");
+  int64_t total = 0;
+  int64_t hot_covered = 0;
+  for (const int32_t region : policy.HotRegionOrder(model)) {
+    std::vector<PhysExtent> runs;
+    for (const PhysExtent& run : model.RegionRuns(region)) {
+      if (run.lbn >= limit) {
+        continue;  // fully inside the reserved tail
+      }
+      const int64_t end = std::min<int64_t>(run.lbn + run.blocks, limit);
+      runs.push_back(PhysExtent{run.lbn, static_cast<int32_t>(end - run.lbn)});
+      total += end - run.lbn;
+    }
+    if (runs.empty()) {
+      continue;
+    }
+    config.regions.push_back(std::move(runs));
+    if (hot_covered < hot_capacity_blocks) {
+      ++config.hot_regions;
+      for (const PhysExtent& run : config.regions.back()) {
+        hot_covered += run.blocks;
+      }
+    }
+  }
+  MSTK_CHECK(hot_covered >= hot_capacity_blocks,
+             "hot capacity exceeds the device");
+  config.capacity_blocks = total;
+  return config;
+}
+
 Allocator::Allocator(const AllocatorConfig& config) : config_(config) {
   MSTK_CHECK(config_.capacity_blocks > 0, "allocator needs capacity");
+  if (config_.policy == AllocPolicy::kRegion2D) {
+    MSTK_CHECK(!config_.regions.empty() && config_.hot_regions > 0 &&
+                   config_.hot_regions <=
+                       static_cast<int32_t>(config_.regions.size()),
+               "region2d policy needs a hot-ordered region list");
+    int64_t total = 0;
+    region_free_.resize(config_.regions.size());
+    for (size_t r = 0; r < config_.regions.size(); ++r) {
+      for (const PhysExtent& run : config_.regions[r]) {
+        region_free_[r].Insert(run.lbn, run.blocks);
+        region_index_.push_back(RegionInterval{run.lbn, run.lbn + run.blocks,
+                                               static_cast<int32_t>(r)});
+        total += run.blocks;
+      }
+    }
+    MSTK_CHECK(total == config_.capacity_blocks,
+               "region runs must sum to the allocator capacity");
+    std::sort(region_index_.begin(), region_index_.end(),
+              [](const RegionInterval& a, const RegionInterval& b) {
+                return a.start < b.start;
+              });
+    for (size_t i = 1; i < region_index_.size(); ++i) {
+      MSTK_CHECK(region_index_[i].start >= region_index_[i - 1].end,
+                 "region runs overlap");
+    }
+    free_blocks_ = config_.capacity_blocks;
+    return;
+  }
   if (config_.policy == AllocPolicy::kBipartite) {
     MSTK_CHECK(config_.center_start >= 0 &&
                    config_.center_end > config_.center_start &&
@@ -137,6 +205,37 @@ Allocator::Allocator(const AllocatorConfig& config) : config_(config) {
 int64_t Allocator::GroupStart(int64_t group) const {
   const int64_t group_size = config_.capacity_blocks / config_.groups;
   return (group % config_.groups) * group_size;
+}
+
+int64_t Allocator::TakeFromRegions(int64_t blocks, int32_t first, int32_t last,
+                                   std::vector<PhysExtent>* out) {
+  int64_t taken = 0;
+  // Pass 1: a region that can hold the remainder contiguously wins; this
+  // keeps one file inside one region whenever possible.
+  for (int32_t r = first; r < last && taken < blocks; ++r) {
+    PhysExtent whole;
+    if (region_free_[r].TakeContiguous(blocks - taken, 0, &whole)) {
+      out->push_back(whole);
+      taken = blocks;
+    }
+  }
+  // Pass 2: drain regions one at a time (region-local fragments) so spill
+  // still clusters within the fewest regions.
+  for (int32_t r = first; r < last && taken < blocks; ++r) {
+    taken += region_free_[r].TakeFirstFit(blocks - taken, 0, out);
+  }
+  return taken;
+}
+
+int32_t Allocator::RegionOf(int64_t lbn) const {
+  auto it = std::upper_bound(region_index_.begin(), region_index_.end(), lbn,
+                             [](int64_t value, const RegionInterval& iv) {
+                               return value < iv.start;
+                             });
+  MSTK_CHECK(it != region_index_.begin(), "lbn before the first region");
+  --it;
+  MSTK_CHECK(lbn < it->end, "lbn falls in a gap between regions");
+  return it->region;
 }
 
 int64_t Allocator::AllocMetadata(int64_t hint_group) {
@@ -162,6 +261,14 @@ int64_t Allocator::AllocMetadata(int64_t hint_group) {
         return got[0].lbn;
       }
       return -1;
+    case AllocPolicy::kRegion2D:
+      // Metadata walks the hot set in preference order, then spills cold.
+      if (TakeFromRegions(1, 0, static_cast<int32_t>(region_free_.size()),
+                          &got) == 1) {
+        free_blocks_ -= 1;
+        return got[0].lbn;
+      }
+      return -1;
   }
   return -1;
 }
@@ -171,6 +278,34 @@ std::vector<PhysExtent> Allocator::AllocData(int64_t blocks, int64_t hint_group)
   std::vector<PhysExtent> result;
   const int64_t from =
       config_.policy == AllocPolicy::kGrouped ? GroupStart(hint_group) : 0;
+
+  if (config_.policy == AllocPolicy::kRegion2D) {
+    const int32_t n = static_cast<int32_t>(region_free_.size());
+    int64_t taken;
+    if (blocks <= config_.center_small_blocks) {
+      // Small files live with the metadata: hot regions first, cold spill.
+      taken = TakeFromRegions(blocks, 0, n, &result);
+    } else {
+      // Large data fills the cold regions; desperation spills into the hot
+      // set (walked coldest-first so the hottest regions drain last).
+      taken = TakeFromRegions(blocks, config_.hot_regions, n, &result);
+      if (taken < blocks) {
+        for (int32_t r = config_.hot_regions - 1; r >= 0 && taken < blocks;
+             --r) {
+          taken += TakeFromRegions(blocks - taken, r, r + 1, &result);
+        }
+      }
+    }
+    if (taken < blocks) {
+      for (const PhysExtent& e : result) {
+        Free(e);
+        free_blocks_ -= e.blocks;  // Free() re-adds; undo the double count
+      }
+      return {};
+    }
+    free_blocks_ -= blocks;
+    return result;
+  }
 
   // Bipartite small-file placement: small data lives with the metadata in
   // the center region.
@@ -213,8 +348,14 @@ void Allocator::Free(const PhysExtent& extent) {
   MSTK_CHECK(extent.lbn >= 0 && extent.blocks > 0 &&
                  extent.lbn + extent.blocks <= config_.capacity_blocks,
              "bad free");
-  if (config_.policy == AllocPolicy::kBipartite &&
-      extent.lbn >= config_.center_start && extent.lbn < config_.center_end) {
+  if (config_.policy == AllocPolicy::kRegion2D) {
+    // Freed blocks return to their region's pool. (Extents never span a
+    // region boundary: region runs are disjoint FreeMaps, and allocation
+    // never merges runs across them.)
+    region_free_[RegionOf(extent.lbn)].Insert(extent.lbn, extent.blocks);
+  } else if (config_.policy == AllocPolicy::kBipartite &&
+             extent.lbn >= config_.center_start &&
+             extent.lbn < config_.center_end) {
     // Freed center blocks return to the metadata pool. (Extents never span
     // the pool boundary because allocation never merges across it.)
     center_.Insert(extent.lbn, extent.blocks);
@@ -224,6 +365,12 @@ void Allocator::Free(const PhysExtent& extent) {
   free_blocks_ += extent.blocks;
 }
 
-int64_t Allocator::free_extent_count() const { return free_.size() + center_.size(); }
+int64_t Allocator::free_extent_count() const {
+  int64_t count = free_.size() + center_.size();
+  for (const FreeMap& pool : region_free_) {
+    count += pool.size();
+  }
+  return count;
+}
 
 }  // namespace mstk

@@ -14,6 +14,12 @@
 //                  center region (minimum spring displacement, short X and
 //                  Y strokes); data allocates from the outer regions where
 //                  positioning costs barely matter for streaming.
+//  * kRegion2D   — 2-D locality-aware (KAIST logical model, arXiv:0807.4580):
+//                  free space is tracked per region of a LayoutPolicy's
+//                  region grid; metadata and small files walk the policy's
+//                  hot-region preference order, data fills region-locally
+//                  (one region at a time) instead of scanning LBNs linearly,
+//                  so allocations inherit the policy's 2-D locality.
 #ifndef MSTK_SRC_FS_ALLOCATOR_H_
 #define MSTK_SRC_FS_ALLOCATOR_H_
 
@@ -22,10 +28,11 @@
 #include <vector>
 
 #include "src/layout/layout_map.h"
+#include "src/layout/layout_policy.h"
 
 namespace mstk {
 
-enum class AllocPolicy { kFirstFit, kGrouped, kBipartite };
+enum class AllocPolicy { kFirstFit, kGrouped, kBipartite, kRegion2D };
 
 struct AllocatorConfig {
   AllocPolicy policy = AllocPolicy::kFirstFit;
@@ -38,9 +45,28 @@ struct AllocatorConfig {
   int64_t center_end = 0;
   // kBipartite: data allocations at or below this size also come from the
   // center (small, popular files belong with the metadata; §5.3). 0 keeps
-  // the center metadata-only.
+  // the center metadata-only. kRegion2D reuses it as the small-file
+  // threshold for the hot region set.
   int64_t center_small_blocks = 0;
+  // kRegion2D: regions[i] holds the physical runs of the preference-rank-i
+  // region (most hot-preferred first); the first `hot_regions` entries form
+  // the hot set for metadata and small files. Regions must be disjoint and
+  // sum to capacity_blocks. Build with MakeRegionAllocatorConfig.
+  std::vector<std::vector<PhysExtent>> regions;
+  int32_t hot_regions = 0;
 };
+
+// Builds a kRegion2D AllocatorConfig over `policy`'s region model for
+// `geometry`: regions come from the model in the policy's hot-region
+// preference order; the hot set is the shortest preference prefix whose
+// capacity covers `hot_capacity_blocks`; data allocations at or below
+// `small_file_blocks` prefer the hot set. `reserve_tail_blocks` excludes the
+// device's top LBNs from every region (e.g. for a MiniFs journal).
+[[nodiscard]] AllocatorConfig MakeRegionAllocatorConfig(const LayoutPolicy& policy,
+                                                        const MemsGeometry& geometry,
+                                                        int64_t hot_capacity_blocks,
+                                                        int64_t small_file_blocks,
+                                                        int64_t reserve_tail_blocks = 0);
 
 class Allocator {
  public:
@@ -85,9 +111,26 @@ class Allocator {
 
   int64_t GroupStart(int64_t group) const;
 
+  // kRegion2D helpers: allocate `blocks` walking regions [first, last) in
+  // preference order, region-locally (contiguous first, then fragments
+  // within one region before moving on). Appends to `out`; returns taken.
+  int64_t TakeFromRegions(int64_t blocks, int32_t first, int32_t last,
+                          std::vector<PhysExtent>* out);
+  // Preference index of the region containing `lbn` (kRegion2D).
+  int32_t RegionOf(int64_t lbn) const;
+
   AllocatorConfig config_;
   FreeMap free_;        // main pool (all policies; excludes center when bipartite)
   FreeMap center_;      // kBipartite metadata pool
+  // kRegion2D: one pool per region, parallel to config_.regions.
+  std::vector<FreeMap> region_free_;
+  // kRegion2D: physical intervals sorted by start for Free() lookup.
+  struct RegionInterval {
+    int64_t start;
+    int64_t end;
+    int32_t region;  // preference index
+  };
+  std::vector<RegionInterval> region_index_;
   int64_t free_blocks_ = 0;
 };
 

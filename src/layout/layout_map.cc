@@ -20,10 +20,7 @@ void ExtentLayout::Append(int64_t phys_lbn, int64_t blocks) {
   total_blocks_ += blocks;
 }
 
-std::vector<PhysExtent> ExtentLayout::MapExtent(int64_t logical_lbn, int32_t blocks) const {
-  MSTK_CHECK(logical_lbn >= 0 && blocks > 0, "bad logical extent");
-  MSTK_CHECK(logical_lbn + blocks <= total_blocks_,
-             "logical extent beyond layout capacity");
+size_t ExtentLayout::FindEntry(int64_t logical_lbn) const {
   // Binary search for the extent containing logical_lbn.
   size_t lo = 0;
   size_t hi = extents_.size() - 1;
@@ -35,6 +32,21 @@ std::vector<PhysExtent> ExtentLayout::MapExtent(int64_t logical_lbn, int32_t blo
       hi = mid - 1;
     }
   }
+  return lo;
+}
+
+int64_t ExtentLayout::MapBlock(int64_t logical_lbn) const {
+  MSTK_CHECK(logical_lbn >= 0 && logical_lbn < total_blocks_,
+             "logical block beyond layout capacity");
+  const Entry& e = extents_[FindEntry(logical_lbn)];
+  return e.phys_base + (logical_lbn - e.logical_base);
+}
+
+std::vector<PhysExtent> ExtentLayout::MapExtent(int64_t logical_lbn, int32_t blocks) const {
+  MSTK_CHECK(logical_lbn >= 0 && blocks > 0, "bad logical extent");
+  MSTK_CHECK(logical_lbn + blocks <= total_blocks_,
+             "logical extent beyond layout capacity");
+  const size_t lo = FindEntry(logical_lbn);
   std::vector<PhysExtent> result;
   int64_t remaining = blocks;
   int64_t cursor = logical_lbn;
@@ -55,6 +67,14 @@ std::vector<Request> ApplyLayout(const LayoutMap& layout, const std::vector<Requ
   mapped.reserve(requests.size());
   int64_t id = 0;
   for (const Request& req : requests) {
+    if (req.block_count == 1) {
+      // Single-block fast path: no per-request vector allocation.
+      Request sub = req;
+      sub.id = id++;
+      sub.lbn = layout.MapBlock(req.lbn);
+      mapped.push_back(sub);
+      continue;
+    }
     for (const PhysExtent& extent : layout.MapExtent(req.lbn, req.block_count)) {
       Request sub = req;
       sub.id = id++;

@@ -32,10 +32,15 @@ class LayoutMap {
   virtual int64_t logical_capacity() const = 0;
 
   // Translates a logical extent into physical extents, in logical order.
-  virtual std::vector<PhysExtent> MapExtent(int64_t logical_lbn, int32_t blocks) const = 0;
+  [[nodiscard]] virtual std::vector<PhysExtent> MapExtent(int64_t logical_lbn,
+                                                          int32_t blocks) const = 0;
 
-  // Translates a single logical block.
-  int64_t MapBlock(int64_t logical_lbn) const { return MapExtent(logical_lbn, 1)[0].lbn; }
+  // Translates a single logical block. The default routes through MapExtent;
+  // concrete layouts override with a non-allocating path (this sits on the
+  // per-request hot path of ApplyLayout).
+  [[nodiscard]] virtual int64_t MapBlock(int64_t logical_lbn) const {
+    return MapExtent(logical_lbn, 1)[0].lbn;
+  }
 };
 
 // A layout built from an explicit ordered list of physical extents; logical
@@ -50,7 +55,11 @@ class ExtentLayout : public LayoutMap {
 
   const std::string& name() const override { return name_; }
   int64_t logical_capacity() const override { return total_blocks_; }
-  std::vector<PhysExtent> MapExtent(int64_t logical_lbn, int32_t blocks) const override;
+  [[nodiscard]] std::vector<PhysExtent> MapExtent(int64_t logical_lbn,
+                                                  int32_t blocks) const override;
+  // Single-block translation without the vector allocation: one binary
+  // search, shared with MapExtent.
+  [[nodiscard]] int64_t MapBlock(int64_t logical_lbn) const override;
 
   int64_t extent_count() const { return static_cast<int64_t>(extents_.size()); }
 
@@ -60,6 +69,10 @@ class ExtentLayout : public LayoutMap {
     int64_t phys_base;
     int64_t blocks;
   };
+
+  // Index of the entry containing `logical_lbn` (binary search over
+  // logical_base, O(log n) for any extent count).
+  size_t FindEntry(int64_t logical_lbn) const;
 
   std::string name_;
   std::vector<Entry> extents_;

@@ -1,5 +1,11 @@
 // Placement factories for the §5.3 layout study.
 //
+// These are the FROZEN reference implementations: the LayoutPolicy family
+// (src/layout/layout_policy.h) re-expresses each of them against the
+// region-based logical model, and tests/layout_property_test.cc asserts the
+// policies reproduce these factories extent-for-extent. New callers should
+// use the policy registry; keep these byte-stable.
+//
 // All factories build a two-pool ("bipartite") logical space:
 //   logical [0, small_blocks)                — small, popular data
 //   logical [small_blocks, +large_blocks)    — large, sequential streams

@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include "src/layout/layout_policy.h"
+#include "src/mems/geometry.h"
 #include "src/sim/rng.h"
 
 namespace mstk {
@@ -144,6 +146,134 @@ TEST(AllocatorTest, BipartiteDataSpillsToCenterOnlyWhenDesperate) {
   ASSERT_FALSE(spill.empty());
   EXPECT_GE(spill[0].lbn, 400);
   EXPECT_LT(spill[0].lbn, 600);
+}
+
+// A synthetic 3-region 2-D config: the hot region is the middle physical
+// interval, preference order hot, low, high.
+AllocatorConfig Region2D() {
+  AllocatorConfig config;
+  config.policy = AllocPolicy::kRegion2D;
+  config.capacity_blocks = 3000;
+  config.center_small_blocks = 16;
+  config.regions = {{PhysExtent{1000, 1000}},
+                    {PhysExtent{0, 1000}},
+                    {PhysExtent{2000, 1000}}};
+  config.hot_regions = 1;
+  return config;
+}
+
+TEST(AllocatorTest, Region2DMetadataAndSmallDataFromHotRegion) {
+  Allocator alloc(Region2D());
+  for (int i = 0; i < 20; ++i) {
+    const int64_t meta = alloc.AllocMetadata(i);
+    EXPECT_GE(meta, 1000);
+    EXPECT_LT(meta, 2000);
+  }
+  const auto small = alloc.AllocData(16, 0);  // <= center_small_blocks
+  ASSERT_EQ(small.size(), 1u);
+  EXPECT_GE(small[0].lbn, 1000);
+  EXPECT_LT(small[0].lbn + small[0].blocks, 2000);
+}
+
+TEST(AllocatorTest, Region2DLargeDataFillsColdRegionsFirst) {
+  Allocator alloc(Region2D());
+  // Large data walks the cold regions in preference order (low, then high)
+  // and stays out of the hot region until the cold set is exhausted.
+  const auto a = alloc.AllocData(600, 0);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].lbn, 0);
+  const auto b = alloc.AllocData(600, 0);  // no 600-run left in region low
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_GE(b[0].lbn, 2000);
+  // Region-local fragment gathering: 500 fits the low region's remainder.
+  const auto c = alloc.AllocData(400, 0);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0].lbn, 600);
+  // Exhaust the cold set; the next large allocation spills into hot.
+  ASSERT_FALSE(alloc.AllocData(400, 0).empty());
+  const auto spill = alloc.AllocData(500, 0);
+  ASSERT_EQ(spill.size(), 1u);
+  EXPECT_GE(spill[0].lbn, 1000);
+  EXPECT_LT(spill[0].lbn, 2000);
+}
+
+TEST(AllocatorTest, Region2DFreeReturnsBlocksToTheirRegion) {
+  Allocator alloc(Region2D());
+  const auto small = alloc.AllocData(16, 0);
+  ASSERT_EQ(small.size(), 1u);
+  const auto big = alloc.AllocData(1000, 0);  // drains the low cold region
+  ASSERT_EQ(big.size(), 1u);
+  EXPECT_EQ(big[0].lbn, 0);
+  alloc.Free(small[0]);
+  alloc.Free(big[0]);
+  EXPECT_EQ(alloc.free_blocks(), 3000);
+  EXPECT_EQ(alloc.free_extent_count(), 3);  // each region fully coalesced
+  // The freed hot blocks serve hot allocations again.
+  const auto again = alloc.AllocData(16, 0);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0], small[0]);
+}
+
+TEST(AllocatorTest, Region2DEnospcRollsBack) {
+  Allocator alloc(Region2D());
+  ASSERT_FALSE(alloc.AllocData(2900, 0).empty());
+  const int64_t free_before = alloc.free_blocks();
+  EXPECT_TRUE(alloc.AllocData(200, 0).empty());
+  EXPECT_EQ(alloc.free_blocks(), free_before);
+  EXPECT_FALSE(alloc.AllocData(100, 0).empty());
+}
+
+TEST(AllocatorTest, Region2DRandomizedNoDoubleAllocation) {
+  Allocator alloc(Region2D());
+  Rng rng(78);
+  std::set<int64_t> owned;
+  std::vector<PhysExtent> live;
+  for (int step = 0; step < 3000; ++step) {
+    if (rng.Bernoulli(0.6) || live.empty()) {
+      const int64_t want = 1 + rng.UniformInt(64);
+      const auto got = alloc.AllocData(want, 0);
+      for (const auto& e : got) {
+        for (int64_t b = e.lbn; b < e.lbn + e.blocks; ++b) {
+          ASSERT_TRUE(owned.insert(b).second) << "double allocation of " << b;
+        }
+        live.push_back(e);
+      }
+    } else {
+      const size_t victim = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(live.size())));
+      const PhysExtent e = live[victim];
+      live.erase(live.begin() + static_cast<int64_t>(victim));
+      for (int64_t b = e.lbn; b < e.lbn + e.blocks; ++b) {
+        owned.erase(b);
+      }
+      alloc.Free(e);
+    }
+    ASSERT_EQ(alloc.free_blocks(), 3000 - static_cast<int64_t>(owned.size()));
+  }
+}
+
+TEST(AllocatorTest, MakeRegionAllocatorConfigTilesTheDevice) {
+  const MemsGeometry geom{MemsParams{}};
+  const LayoutPolicy* tiled = FindLayoutPolicy("tiled");
+  ASSERT_NE(tiled, nullptr);
+  const AllocatorConfig config =
+      MakeRegionAllocatorConfig(*tiled, geom, /*hot_capacity_blocks=*/200000,
+                                /*small_file_blocks=*/256);
+  EXPECT_EQ(config.capacity_blocks, geom.capacity_blocks());
+  EXPECT_EQ(config.hot_regions, 1);  // one 250k center cell covers the pool
+  // The Allocator constructor re-checks the disjoint-tiling invariant.
+  Allocator alloc(config);
+  const int64_t meta = alloc.AllocMetadata(0);
+  const MemsAddress addr = geom.Decode(meta);
+  EXPECT_GE(addr.cylinder, 1000);
+  EXPECT_LT(addr.cylinder, 1500);
+
+  // A reserved tail shrinks the allocator below the journal region.
+  const AllocatorConfig reserved = MakeRegionAllocatorConfig(
+      *tiled, geom, 200000, 256, /*reserve_tail_blocks=*/16384);
+  EXPECT_EQ(reserved.capacity_blocks, geom.capacity_blocks() - 16384);
+  Allocator with_tail(reserved);
+  EXPECT_EQ(with_tail.free_blocks(), reserved.capacity_blocks);
 }
 
 TEST(AllocatorTest, RandomizedNoDoubleAllocation) {

@@ -1,0 +1,264 @@
+// Randomized properties of the LayoutPolicy family (src/layout):
+//  * every policy's layout is a bijection onto device LBNs,
+//  * MapBlock agrees with MapExtent everywhere (the non-allocating
+//    single-block path cannot drift from the extent walk),
+//  * ApplyLayout round-trips: each mapped sub-request covers exactly the
+//    per-block images of its logical range,
+//  * the legacy policies reproduce the frozen placements.h factories
+//    extent-for-extent,
+//  * the LogicalRegionModel tiles the device and its orders are honest
+//    permutations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/layout/layout_map.h"
+#include "src/layout/layout_policy.h"
+#include "src/layout/placements.h"
+#include "src/layout/region_model.h"
+#include "src/mems/geometry.h"
+#include "src/sim/rng.h"
+
+namespace mstk {
+namespace {
+
+constexpr int64_t kHot = 200000;
+constexpr int64_t kCold = 800000;
+
+LayoutSpec MemsSpec(const MemsGeometry& geom, int64_t hot = kHot, int64_t cold = kCold) {
+  LayoutSpec spec;
+  spec.geometry = &geom;
+  spec.device_capacity_blocks = geom.capacity_blocks();
+  spec.hot_blocks = hot;
+  spec.cold_blocks = cold;
+  return spec;
+}
+
+// The full physical image of a layout as a sorted extent list.
+std::vector<PhysExtent> PhysicalImage(const ExtentLayout& layout) {
+  std::vector<PhysExtent> extents =
+      layout.MapExtent(0, static_cast<int32_t>(layout.logical_capacity()));
+  std::sort(extents.begin(), extents.end(),
+            [](const PhysExtent& a, const PhysExtent& b) { return a.lbn < b.lbn; });
+  return extents;
+}
+
+TEST(LayoutPolicyPropertyTest, EveryPolicyIsABijection) {
+  const MemsGeometry geom{MemsParams{}};
+  const LayoutSpec spec = MemsSpec(geom);
+  for (const LayoutPolicy* policy : AllLayoutPolicies()) {
+    SCOPED_TRACE(policy->name());
+    const ExtentLayout layout = policy->Build(spec);
+    ASSERT_EQ(layout.logical_capacity(), kHot + kCold);
+    const std::vector<PhysExtent> extents = PhysicalImage(layout);
+    int64_t covered = 0;
+    for (size_t i = 0; i < extents.size(); ++i) {
+      EXPECT_GE(extents[i].lbn, 0);
+      EXPECT_LE(extents[i].lbn + extents[i].blocks, geom.capacity_blocks());
+      if (i > 0) {
+        // Disjoint: no physical block is the image of two logical blocks.
+        EXPECT_GE(extents[i].lbn, extents[i - 1].lbn + extents[i - 1].blocks)
+            << "overlap at extent " << i;
+      }
+      covered += extents[i].blocks;
+    }
+    EXPECT_EQ(covered, kHot + kCold);
+  }
+}
+
+TEST(LayoutPolicyPropertyTest, MapBlockMatchesMapExtentEverywhere) {
+  const MemsGeometry geom{MemsParams{}};
+  const LayoutSpec spec = MemsSpec(geom);
+  Rng rng(101);
+  for (const LayoutPolicy* policy : AllLayoutPolicies()) {
+    SCOPED_TRACE(policy->name());
+    const ExtentLayout layout = policy->Build(spec);
+    for (int i = 0; i < 2000; ++i) {
+      const int64_t logical = rng.UniformInt(layout.logical_capacity());
+      const std::vector<PhysExtent> one = layout.MapExtent(logical, 1);
+      ASSERT_EQ(one.size(), 1u);
+      EXPECT_EQ(layout.MapBlock(logical), one[0].lbn);
+    }
+    // Extent boundaries are where the two paths could disagree.
+    EXPECT_EQ(layout.MapBlock(0), layout.MapExtent(0, 1)[0].lbn);
+    const int64_t last = layout.logical_capacity() - 1;
+    EXPECT_EQ(layout.MapBlock(last), layout.MapExtent(last, 1)[0].lbn);
+  }
+}
+
+TEST(LayoutPolicyPropertyTest, ApplyLayoutRoundTripsPerBlock) {
+  const MemsGeometry geom{MemsParams{}};
+  const LayoutSpec spec = MemsSpec(geom);
+  Rng rng(202);
+  for (const LayoutPolicy* policy : AllLayoutPolicies()) {
+    SCOPED_TRACE(policy->name());
+    const ExtentLayout layout = policy->Build(spec);
+    std::vector<Request> requests(300);
+    for (Request& req : requests) {
+      // Mix single-block requests (the fast path) with multi-block ones.
+      req.block_count = rng.Bernoulli(0.3) ? 1 : static_cast<int32_t>(
+                                                     1 + rng.UniformInt(700));
+      req.lbn = rng.UniformInt(layout.logical_capacity() - req.block_count);
+    }
+    const std::vector<Request> mapped = ApplyLayout(layout, requests);
+    size_t cursor = 0;
+    for (const Request& req : requests) {
+      int64_t logical = req.lbn;
+      int64_t remaining = req.block_count;
+      while (remaining > 0) {
+        ASSERT_LT(cursor, mapped.size());
+        const Request& sub = mapped[cursor++];
+        ASSERT_LE(sub.block_count, remaining);
+        for (int32_t b = 0; b < sub.block_count; ++b) {
+          ASSERT_EQ(sub.lbn + b, layout.MapBlock(logical + b))
+              << "logical " << logical + b;
+        }
+        logical += sub.block_count;
+        remaining -= sub.block_count;
+      }
+    }
+    EXPECT_EQ(cursor, mapped.size());
+  }
+}
+
+// The legacy policies must reproduce the frozen factories extent-for-extent
+// (the pre-registry benches depended on those exact placements).
+TEST(LayoutPolicyPropertyTest, LegacyPoliciesMatchFrozenFactories) {
+  const MemsGeometry geom{MemsParams{}};
+  for (const auto& [hot, cold] : std::vector<std::pair<int64_t, int64_t>>{
+           {kHot, kCold}, {100000, 500000}, {1000, 2457600}}) {
+    SCOPED_TRACE(hot);
+    const LayoutSpec spec = MemsSpec(geom, hot, cold);
+    const struct {
+      const char* name;
+      ExtentLayout frozen;
+    } kLegacy[] = {
+        {"simple", MakeSimpleLayout(hot, cold)},
+        {"organ-pipe", MakeOrganPipeLayout(geom.capacity_blocks(), hot, cold)},
+        {"columnar", MakeColumnarBipartiteLayout(geom, hot, cold)},
+        {"subregioned", MakeSubregionedBipartiteLayout(geom, hot, cold)},
+    };
+    for (const auto& legacy : kLegacy) {
+      SCOPED_TRACE(legacy.name);
+      const LayoutPolicy* policy = FindLayoutPolicy(legacy.name);
+      ASSERT_NE(policy, nullptr);
+      const ExtentLayout built = policy->Build(spec);
+      ASSERT_EQ(built.logical_capacity(), legacy.frozen.logical_capacity());
+      const auto built_extents =
+          built.MapExtent(0, static_cast<int32_t>(built.logical_capacity()));
+      const auto frozen_extents = legacy.frozen.MapExtent(
+          0, static_cast<int32_t>(legacy.frozen.logical_capacity()));
+      ASSERT_EQ(built_extents.size(), frozen_extents.size());
+      for (size_t i = 0; i < built_extents.size(); ++i) {
+        ASSERT_EQ(built_extents[i], frozen_extents[i]) << "extent " << i;
+      }
+    }
+  }
+}
+
+TEST(RegionModelPropertyTest, RegionsTileTheDevice) {
+  const MemsGeometry geom{MemsParams{}};
+  for (const auto& [x, y] : std::vector<std::pair<int32_t, int32_t>>{
+           {5, 5}, {25, 1}, {5, 1}, {1, 1}}) {
+    SCOPED_TRACE(x);
+    const LogicalRegionModel model(geom, x, y);
+    std::vector<PhysExtent> all;
+    int64_t total = 0;
+    for (int32_t r = 0; r < model.region_count(); ++r) {
+      const int64_t blocks = model.RegionBlocks(r);
+      EXPECT_GT(blocks, 0);
+      total += blocks;
+      int64_t run_total = 0;
+      for (const PhysExtent& run : model.RegionRuns(r)) {
+        run_total += run.blocks;
+        all.push_back(run);
+      }
+      EXPECT_EQ(run_total, blocks);
+    }
+    EXPECT_EQ(total, geom.capacity_blocks());
+    std::sort(all.begin(), all.end(),
+              [](const PhysExtent& a, const PhysExtent& b) { return a.lbn < b.lbn; });
+    for (size_t i = 1; i < all.size(); ++i) {
+      ASSERT_GE(all[i].lbn, all[i - 1].lbn + all[i - 1].blocks);
+    }
+    EXPECT_EQ(all.front().lbn, 0);
+    EXPECT_EQ(all.back().lbn + all.back().blocks, geom.capacity_blocks());
+  }
+}
+
+TEST(RegionModelPropertyTest, OrdersArePermutationsAndSerpentineIsAdjacent) {
+  const MemsGeometry geom{MemsParams{}};
+  const LogicalRegionModel model(geom, 5, 5);
+  auto check_permutation = [&](const std::vector<int32_t>& order) {
+    std::vector<int32_t> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(sorted.size(), static_cast<size_t>(model.region_count()));
+    for (int32_t r = 0; r < model.region_count(); ++r) {
+      ASSERT_EQ(sorted[static_cast<size_t>(r)], r);
+    }
+  };
+  check_permutation(model.RegionsByCenterDistance());
+  check_permutation(model.SerpentineOrder());
+  // Center-out order starts at the exact center of the odd grid.
+  EXPECT_EQ(model.RegionsByCenterDistance().front(), model.RegionId({2, 2}));
+  // Serpentine neighbors are always 4-adjacent.
+  const std::vector<int32_t> serp = model.SerpentineOrder();
+  for (size_t i = 1; i < serp.size(); ++i) {
+    const RegionCoord a = model.Coord(serp[i - 1]);
+    const RegionCoord b = model.Coord(serp[i]);
+    EXPECT_EQ(std::abs(a.x - b.x) + std::abs(a.y - b.y), 1)
+        << "step " << i << " jumps";
+  }
+  // Every policy's hot order is a permutation of its own grid.
+  for (const LayoutPolicy* policy : AllLayoutPolicies()) {
+    SCOPED_TRACE(policy->name());
+    const LogicalRegionModel own = policy->Regions(geom);
+    const std::vector<int32_t> order = policy->HotRegionOrder(own);
+    std::vector<int32_t> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(sorted.size(), static_cast<size_t>(own.region_count()));
+    for (int32_t r = 0; r < own.region_count(); ++r) {
+      ASSERT_EQ(sorted[static_cast<size_t>(r)], r);
+    }
+  }
+}
+
+// KAIST strategy shapes: where each policy physically puts the pools.
+TEST(LayoutPolicyPropertyTest, KaistStrategyShapes) {
+  const MemsGeometry geom{MemsParams{}};
+  const LayoutSpec spec = MemsSpec(geom);
+
+  // tiled: the hot pool (200k < 250k center cell) lives entirely in the
+  // centermost cell — both X and Y confined.
+  const ExtentLayout tiled = FindLayoutPolicy("tiled")->Build(spec);
+  for (int64_t logical = 0; logical < kHot; logical += 997) {
+    const MemsAddress addr = geom.Decode(tiled.MapBlock(logical));
+    EXPECT_GE(addr.cylinder, 1000);
+    EXPECT_LT(addr.cylinder, 1500);
+    EXPECT_GE(addr.row, 11);
+    EXPECT_LT(addr.row, 16);
+  }
+
+  // hot-cold: the cold pool never enters the hot partition (here exactly
+  // the center cell).
+  const ExtentLayout hot_cold = FindLayoutPolicy("hot-cold")->Build(spec);
+  for (int64_t logical = kHot; logical < kHot + kCold; logical += 7919) {
+    const MemsAddress addr = geom.Decode(hot_cold.MapBlock(logical));
+    const bool in_center = addr.cylinder >= 1000 && addr.cylinder < 1500 &&
+                           addr.row >= 11 && addr.row < 16;
+    EXPECT_FALSE(in_center) << "cold block in hot partition at " << logical;
+  }
+
+  // region-seq: the logical space walks the serpentine region order, so
+  // logical 0 is in the walk's first region (bottom-left cell) and
+  // consecutive region-sized chunks land in 4-adjacent regions.
+  const ExtentLayout seq = FindLayoutPolicy("region-seq")->Build(spec);
+  const MemsAddress first = geom.Decode(seq.MapBlock(0));
+  EXPECT_LT(first.cylinder, 500);
+  EXPECT_LT(first.row, 6);
+}
+
+}  // namespace
+}  // namespace mstk

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/layout/layout_map.h"
+#include "src/layout/layout_policy.h"
 #include "src/layout/placements.h"
 #include "src/mems/geometry.h"
 #include "src/sim/rng.h"
@@ -140,6 +141,42 @@ TEST(PlacementsTest, SubregionedSmallPoolInCenterCell) {
         << "cylinder " << addr.cylinder;
   }
   CheckInjective(layout, geom.capacity_blocks());
+}
+
+TEST(LayoutPolicyTest, RegistryResolvesAllPoliciesByName) {
+  const auto& all = AllLayoutPolicies();
+  ASSERT_EQ(all.size(), 7u);
+  // Registration order is fixed: legacy four, then the KAIST strategies.
+  const char* kExpected[] = {"simple",     "organ-pipe", "columnar", "subregioned",
+                             "region-seq", "tiled",      "hot-cold"};
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i]->name(), kExpected[i]);
+    EXPECT_EQ(FindLayoutPolicy(kExpected[i]), all[i]);
+  }
+  EXPECT_EQ(FindLayoutPolicy("no-such-policy"), nullptr);
+  const std::string names = LayoutPolicyNames();
+  for (const char* name : kExpected) {
+    EXPECT_NE(names.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(LayoutPolicyTest, DeviceAgnosticPoliciesBuildWithoutGeometry) {
+  LayoutSpec spec;
+  spec.device_capacity_blocks = 1 << 22;
+  spec.hot_blocks = kSmall;
+  spec.cold_blocks = kLarge;
+  for (const char* name : {"simple", "organ-pipe"}) {
+    const LayoutPolicy* policy = FindLayoutPolicy(name);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_FALSE(policy->needs_mems_geometry());
+    const ExtentLayout layout = policy->Build(spec);
+    EXPECT_EQ(layout.logical_capacity(), kSmall + kLarge);
+    CheckInjective(layout, spec.device_capacity_blocks);
+  }
+  for (const char* name : {"columnar", "subregioned", "region-seq", "tiled",
+                           "hot-cold"}) {
+    EXPECT_TRUE(FindLayoutPolicy(name)->needs_mems_geometry()) << name;
+  }
 }
 
 TEST(PlacementsTest, SubregionedLargePoolStaysContiguous) {

@@ -1,15 +1,27 @@
-// Fixture: N1 must reject cost-returning estimate/service functions that a
-// caller can silently ignore.
+// Fixture: N1 must reject cost-returning estimate/service functions and
+// Map* translation functions that a caller can silently ignore.
 #ifndef TESTS_LINT_FIXTURES_N1_BAD_H_
 #define TESTS_LINT_FIXTURES_N1_BAD_H_
 
+#include <cstdint>
+
 #include "src/sim/units.h"
+
+struct MemberBlock {
+  int member = 0;
+  int64_t lbn = 0;
+};
 
 struct FixtureModel {
   virtual ~FixtureModel() = default;
   virtual mstk::TimeMs ServiceRequest(int lbn) = 0;
   virtual double EstimatePositioningMs(int lbn) const = 0;
   mstk::TimeMs DegradedPenaltyMs() const { return 0.0; }
+};
+
+struct FixtureMapper {
+  int64_t MapBlock(int64_t logical) const { return logical; }
+  MemberBlock MapRaid0(int64_t array_lbn) const { return {0, array_lbn}; }
 };
 
 #endif  // TESTS_LINT_FIXTURES_N1_BAD_H_

@@ -1,9 +1,16 @@
-// Fixture: N1 must stay quiet — every cost-returning function is
-// [[nodiscard]], and non-cost functions need nothing.
+// Fixture: N1 must stay quiet — every cost-returning and mapping-returning
+// function is [[nodiscard]], and non-cost functions need nothing.
 #ifndef TESTS_LINT_FIXTURES_N1_GOOD_H_
 #define TESTS_LINT_FIXTURES_N1_GOOD_H_
 
+#include <cstdint>
+
 #include "src/sim/units.h"
+
+struct MemberBlock {
+  int member = 0;
+  int64_t lbn = 0;
+};
 
 struct FixtureModel {
   virtual ~FixtureModel() = default;
@@ -12,6 +19,17 @@ struct FixtureModel {
   [[nodiscard]] mstk::TimeMs DegradedPenaltyMs() const { return 0.0; }
   void Reset() {}
   int ServiceCount() const { return 0; }
+};
+
+struct FixtureMapper {
+  [[nodiscard]] int64_t MapBlock(int64_t logical) const { return logical; }
+  [[nodiscard]] MemberBlock MapRaid0(int64_t array_lbn) const {
+    return {0, array_lbn};
+  }
+  // A Map* that mutates in place returns nothing, and a predicate that merely
+  // starts with "Map" returns bool: neither needs the attribute.
+  void MapInPlace(int64_t* lbn) const { *lbn += 1; }
+  bool Mapped(int64_t lbn) const { return lbn >= 0; }
 };
 
 #endif  // TESTS_LINT_FIXTURES_N1_GOOD_H_

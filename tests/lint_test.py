@@ -129,7 +129,7 @@ def main():
     test_rule("D2", "d2_bad.cc", ["d2_good.cc", "d2_noreach.cc"], expect_bad=2)
     test_rule("U1", "u1_bad.h", ["u1_good.h"], expect_bad=4)
     test_rule("U2", "u2_bad.cc", ["u2_good.cc"], expect_bad=3)
-    test_rule("N1", "n1_bad.h", ["n1_good.h"], expect_bad=3)
+    test_rule("N1", "n1_bad.h", ["n1_good.h"], expect_bad=5)
     test_suppression()
     test_json_report()
     test_fix_roundtrip()

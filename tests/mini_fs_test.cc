@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/layout/layout_policy.h"
 #include "src/mems/mems_device.h"
 #include "src/sim/rng.h"
 
@@ -100,6 +101,70 @@ TEST(MiniFsTest, BipartitePolicyKeepsMetadataCentered) {
   // Metadata ops on a fresh bipartite fs are cheaper than data ops per
   // block moved (placement effect is probed in the aging bench).
   EXPECT_GT(fs.stats().metadata_ms, 0.0);
+}
+
+TEST(MiniFsTest, Region2DModeKeepsSmallFilesInHotRegions) {
+  MemsDevice device;
+  MiniFsConfig config;
+  // 2-D locality-aware mode over the tiled policy's 5x5 grid: the hot set
+  // is the center cell (250k blocks); files <= 256 blocks count as small.
+  config.allocator = MakeRegionAllocatorConfig(
+      *FindLayoutPolicy("tiled"), device.geometry(),
+      /*hot_capacity_blocks=*/200000, /*small_file_blocks=*/256);
+  MiniFs fs(config, &device);
+  const MemsGeometry& geom = device.geometry();
+  auto in_center_cell = [&geom](int64_t lbn) {
+    const MemsAddress addr = geom.Decode(lbn);
+    return addr.cylinder >= 1000 && addr.cylinder < 1500 && addr.row >= 11 &&
+           addr.row < 16;
+  };
+  double now = 0.0;
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    // Alternate small (4-64 KB) and large (1-2 MB) files.
+    const bool large = i % 2 == 0;
+    const int64_t bytes =
+        large ? (1 << 20) + rng.UniformInt(1 << 20) : 4096 + rng.UniformInt(61440);
+    const double t = fs.Create(i, bytes, now);
+    ASSERT_GE(t, 0.0);
+    now += t;
+  }
+  EXPECT_EQ(fs.stats().files, 100);
+  // Structural check through an identically-configured allocator: metadata
+  // goes to the center cell, small data prefers it, large data stays out.
+  Allocator scratch(config.allocator);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(in_center_cell(scratch.AllocMetadata(i)));
+  }
+  for (const auto& e : scratch.AllocData(256, 0)) {
+    EXPECT_TRUE(in_center_cell(e.lbn));
+  }
+  for (const auto& e : scratch.AllocData(4096, 0)) {
+    EXPECT_FALSE(in_center_cell(e.lbn)) << "large extent in hot cell: " << e.lbn;
+  }
+}
+
+TEST(MiniFsTest, Region2DModeSupportsJournal) {
+  MemsDevice device;
+  MiniFsConfig config;
+  config.journal = true;
+  // Reserve the journal's blocks from the region space so the circular
+  // journal region [capacity, capacity + journal_blocks) stays on-device.
+  config.allocator = MakeRegionAllocatorConfig(
+      *FindLayoutPolicy("tiled"), device.geometry(), 200000, 256,
+      /*reserve_tail_blocks=*/config.journal_blocks);
+  MiniFs fs(config, &device);
+  EXPECT_EQ(fs.allocator().capacity(),
+            device.CapacityBlocks() - config.journal_blocks);
+  double now = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const double t = fs.Create(i, 8192, now);
+    ASSERT_GE(t, 0.0);
+    now += t;
+  }
+  EXPECT_GT(fs.stats().metadata_ms, 0.0);
+  now += fs.Remove(3, now);
+  EXPECT_FALSE(fs.Exists(3));
 }
 
 TEST(MiniFsTest, AgingFragmentsFirstFit) {

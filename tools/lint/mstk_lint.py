@@ -428,17 +428,24 @@ def check_u2(sf, ctx):
 
 
 # --------------------------------------------------------------------------
-# N1: [[nodiscard]] on cost-returning estimate/service functions
+# N1: [[nodiscard]] on cost-returning estimate/service functions and on
+# Map* address-translation functions (layout maps, remap tables, RAID
+# geometry): dropping either a cost estimate or a computed mapping is
+# always a bug.
 
 _N1_RE = re.compile(
     r"(\[\[\s*nodiscard\s*\]\]\s*)?"
     r"((?:virtual\s+)?(?:constexpr\s+)?(?:inline\s+)?)"
-    r"(?:mstk\s*::\s*)?(?:TimeMs|double)\s+"
-    r"((?:Estimate|Service|DegradedPenalty)\w*)\s*\(")
+    r"(?:(?:mstk\s*::\s*)?(?:TimeMs|double)\s+"
+    r"((?:Estimate|Service|DegradedPenalty)\w*)"
+    r"|(?:std\s*::\s*vector\s*<\s*(?:mstk\s*::\s*)?PhysExtent\s*>"
+    r"|(?:mstk\s*::\s*)?(?:PhysExtent|MemberBlock)|int64_t)\s+"
+    r"(Map\w*))\s*\(")
 
 
 @rule("N1", "[[nodiscard]] required on cost-returning estimate/service "
-      "functions", lambda rel: _in_src(rel) and _is_header(rel))
+      "functions and Map* translation functions",
+      lambda rel: _in_src(rel) and _is_header(rel))
 def check_n1(sf, ctx):
     del ctx
     for m in _N1_RE.finditer(sf.clean):
@@ -449,10 +456,13 @@ def check_n1(sf, ctx):
         before = sf.clean[max(0, m.start() - 48):m.start()]
         if re.search(r"\[\[\s*nodiscard\s*\]\]\s*$", before):
             continue
+        name = m.group(3) or m.group(4)
+        what = ("estimate/service time" if m.group(3)
+                else "computed block mapping")
         yield Finding(
             "N1", sf, m.start(),
-            "cost-returning `%s` must be [[nodiscard]]: silently dropping an "
-            "estimate/service time hides accounting bugs" % m.group(3))
+            "cost-returning `%s` must be [[nodiscard]]: silently dropping "
+            "%s hides accounting bugs" % (name, what))
 
 
 # --------------------------------------------------------------------------
@@ -584,10 +594,18 @@ def try_ast_engine(ctx, files, selected_rules):
                         "U1", sf, offset,
                         "`double %s(...)` returns a time in ms; declare it "
                         "TimeMs (src/sim/units.h)" % cur.spelling))
-            # N1: nodiscard attribute on cost-returning functions.
+            # N1: nodiscard attribute on cost-returning functions and Map*
+            # translation functions (see the token rule for the type sets).
             if "N1" in selected_rules and re.match(
-                    r"(?:Estimate|Service|DegradedPenalty)", cur.spelling):
-                if cur.result_type.spelling in ("double", "TimeMs", "mstk::TimeMs"):
+                    r"(?:Estimate|Service|DegradedPenalty|Map)", cur.spelling):
+                n1_types = (
+                    ("double", "TimeMs", "mstk::TimeMs")
+                    if not cur.spelling.startswith("Map") else
+                    ("int64_t", "PhysExtent", "mstk::PhysExtent",
+                     "MemberBlock", "mstk::MemberBlock",
+                     "std::vector<PhysExtent>",
+                     "std::vector<mstk::PhysExtent>"))
+                if cur.result_type.spelling in n1_types:
                     has_nd = any(ch.kind == cindex.CursorKind.WARN_UNUSED_RESULT_ATTR
                                  for ch in cur.get_children())
                     if not has_nd:

@@ -21,6 +21,7 @@
 //   sched_cello   Fig 7(a) matrix: 4 schedulers x 7 trace time scales
 //   sched_tpcc    Fig 7(b) matrix: 4 schedulers x 7 trace time scales
 //   faults        §6 online fault injection & recovery matrix (CI gate)
+//   layouts       layout cube: every LayoutPolicy x 2 workloads x 2 schedulers
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -107,6 +108,29 @@ std::vector<SweepCell> BuildSweep(const std::string& name) {
     disk_slip.injector.spares = 128;
     disk_slip.injector.remap_style = RemapStyle::kDiskSlip;
     add_fault_cell("disk_slip/CLOOK", 104, SchedKind::kClook, 200, 800, disk_slip, true);
+  } else if (name == "layouts") {
+    // Layout cube (§5.3 x KAIST strategies): every registry policy against
+    // paired workload streams under a seek-blind and a position-aware
+    // scheduler. Cells sharing a workload share a seed offset, so every
+    // (policy, scheduler) pair replays the identical logical stream and the
+    // matrix isolates the placement effect.
+    const struct {
+      const char* label;
+      bool cello;
+      int64_t offset;
+    } kWorkloads[] = {{"bipartite", false, 200}, {"cello", true, 201}};
+    for (const auto& wl : kWorkloads) {
+      for (const LayoutPolicy* policy : AllLayoutPolicies()) {
+        for (SchedKind sched : {SchedKind::kFcfs, SchedKind::kSptf}) {
+          cells.push_back(
+              {std::string(policy->name()) + "/" + wl.label + "/" + SchedKindName(sched),
+               wl.offset,
+               [policy, cello = wl.cello, sched](uint64_t seed, TraceTrack trace) {
+                 return RunLayoutSchedTrial(*policy, cello, sched, 4000, seed, trace);
+               }});
+        }
+      }
+    }
   } else if (name == "sched_cello" || name == "sched_tpcc") {
     const bool cello = name == "sched_cello";
     const std::vector<double> scales = cello
@@ -161,7 +185,7 @@ int Usage(const char* argv0) {
                "          [--trace PATH] [--queue-backend calendar|heap]\n"
                "       %s --list\n"
                "       %s [SWEEP] --selfcheck   (compare --jobs 1 vs parallel run)\n"
-               "sweeps: smoke sched_random sched_cello sched_tpcc faults\n",
+               "sweeps: smoke sched_random sched_cello sched_tpcc faults layouts\n",
                argv0, argv0, argv0);
   return 2;
 }
@@ -198,7 +222,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(arg, "--list") == 0) {
-      std::printf("smoke\nsched_random\nsched_cello\nsched_tpcc\nfaults\n");
+      std::printf("smoke\nsched_random\nsched_cello\nsched_tpcc\nfaults\nlayouts\n");
       return 0;
     } else if (std::strcmp(arg, "--trials") == 0) {
       trials = std::atoll(next());
