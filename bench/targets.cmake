@@ -49,5 +49,6 @@ mstk_bench(merging_effect)
 mstk_bench(shuffle_overhead)
 mstk_bench(bus_interface)
 mstk_bench(background_rebuild)
+mstk_bench(array_rebuild)
 mstk_bench(events_per_sec)
 mstk_gbench(microbench_model)

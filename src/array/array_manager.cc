@@ -1,0 +1,577 @@
+#include "src/array/array_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/sched/fcfs.h"
+#include "src/sched/sptf.h"
+#include "src/sim/check.h"
+
+namespace mstk {
+
+const char* ArrayStateName(ArrayState state) {
+  switch (state) {
+    case ArrayState::kOptimal:
+      return "optimal";
+    case ArrayState::kDegraded:
+      return "degraded";
+    case ArrayState::kRebuilding:
+      return "rebuilding";
+    case ArrayState::kResync:
+      return "resync";
+    case ArrayState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+const char* RebuildPolicyName(RebuildPolicy policy) {
+  switch (policy) {
+    case RebuildPolicy::kIdle:
+      return "idle";
+    case RebuildPolicy::kGreedy:
+      return "greedy";
+  }
+  return "?";
+}
+
+SchedulerFactory MakeFcfsFactory() {
+  return [](const StorageDevice*) { return std::make_unique<FcfsScheduler>(); };
+}
+
+SchedulerFactory MakeSptfFactory() {
+  return [](const StorageDevice* device) { return std::make_unique<SptfScheduler>(device); };
+}
+
+ArrayManager::ArrayManager(Simulator* sim, const ArrayManagerConfig& config,
+                           std::vector<StorageDevice*> devices,
+                           const SchedulerFactory& scheduler_factory, MetricsCollector* metrics)
+    : sim_(sim),
+      config_(config),
+      metrics_(metrics),
+      devices_(std::move(devices)),
+      planner_(config.raid, config.active_members) {
+  Init(scheduler_factory);
+  super_.slot_to_device.resize(static_cast<size_t>(config_.active_members));
+  for (int s = 0; s < config_.active_members; ++s) {
+    super_.slot_to_device[static_cast<size_t>(s)] = s;
+  }
+  super_.slot_failed.assign(static_cast<size_t>(config_.active_members), false);
+  super_.device_failed.assign(devices_.size(), false);
+  for (int d = config_.active_members; d < device_count(); ++d) {
+    super_.spare_pool.push_back(d);
+  }
+  super_.Bump(sim_->NowMs());
+  transitions_.push_back(Transition{super_.state, sim_->NowMs(), super_.version});
+}
+
+ArrayManager::ArrayManager(Simulator* sim, const ArrayManagerConfig& config,
+                           std::vector<StorageDevice*> devices,
+                           const SchedulerFactory& scheduler_factory, MetricsCollector* metrics,
+                           const ArraySuperblock& restored)
+    : sim_(sim),
+      config_(config),
+      metrics_(metrics),
+      devices_(std::move(devices)),
+      planner_(config.raid, config.active_members) {
+  Init(scheduler_factory);
+  MSTK_CHECK(static_cast<int>(restored.slot_to_device.size()) == config_.active_members,
+             "restored superblock has the wrong slot count");
+  MSTK_CHECK(restored.device_failed.size() == devices_.size(),
+             "restored superblock has the wrong device count");
+  super_ = restored;
+  transitions_.push_back(Transition{super_.state, sim_->NowMs(), super_.version});
+  ResumeFromSuperblock();
+}
+
+void ArrayManager::Init(const SchedulerFactory& scheduler_factory) {
+  MSTK_CHECK(config_.active_members >= 1, "array needs at least one active member");
+  MSTK_CHECK(static_cast<int>(devices_.size()) >= config_.active_members,
+             "fewer devices than active slots");
+  MSTK_CHECK(config_.rebuild_chunk_blocks > 0, "bad rebuild chunk");
+
+  int64_t common = devices_[0]->CapacityBlocks();
+  for (StorageDevice* d : devices_) {
+    common = std::min(common, d->CapacityBlocks());
+  }
+  member_extent_ = config_.member_extent_blocks > 0
+                       ? std::min(config_.member_extent_blocks, common)
+                       : common;
+  member_extent_ -= member_extent_ % config_.raid.stripe_unit_blocks;
+  MSTK_CHECK(member_extent_ > 0, "member extent smaller than one stripe unit");
+  capacity_blocks_ = planner_.CapacityBlocks(member_extent_);
+
+  per_device_.resize(devices_.size());
+  for (int d = 0; d < device_count(); ++d) {
+    PerDevice& pd = per_device_[static_cast<size_t>(d)];
+    pd.scheduler = scheduler_factory(devices_[static_cast<size_t>(d)]);
+    pd.metrics = std::make_unique<MetricsCollector>();
+    pd.metrics->set_exclude_background(true);
+    pd.driver = std::make_unique<Driver>(sim_, devices_[static_cast<size_t>(d)],
+                                         pd.scheduler.get(), pd.metrics.get());
+    pd.background = std::make_unique<BackgroundRunner>(
+        sim_, pd.driver.get(), std::vector<Request>{}, config_.rebuild_idle_delay_ms,
+        kIdleRebuildIdBase + static_cast<int64_t>(d) * kIdleRebuildIdStride);
+    pd.driver->AddCompletionListener(
+        [this, d](const Request& sub, TimeMs now) { OnMemberCompletion(d, sub, now); });
+  }
+}
+
+void ArrayManager::ResumeFromSuperblock() {
+  switch (super_.state) {
+    case ArrayState::kRebuilding:
+      MSTK_CHECK(super_.rebuild_slot >= 0 && super_.rebuild_device >= 0,
+                 "rebuilding superblock without a rebuild target");
+      StartNextChunk(sim_->NowMs());
+      break;
+    case ArrayState::kDegraded:
+      MaybeStartRebuild(sim_->NowMs());
+      break;
+    case ArrayState::kResync:
+      ScheduleResyncDwell();
+      break;
+    case ArrayState::kOptimal:
+    case ArrayState::kFailed:
+      break;
+  }
+}
+
+void ArrayManager::SetState(ArrayState next, TimeMs now_ms) {
+  if (super_.state == next) {
+    return;
+  }
+  super_.state = next;
+  super_.Bump(now_ms);
+  transitions_.push_back(Transition{next, now_ms, super_.version});
+}
+
+FaultCounters ArrayManager::DeviceFaults() const {
+  FaultCounters total;
+  for (const PerDevice& pd : per_device_) {
+    const FaultCounters& f = pd.metrics->fault();
+    total.transient_errors += f.transient_errors;
+    total.timeouts += f.timeouts;
+    total.retries += f.retries;
+    total.permanent_faults += f.permanent_faults;
+    total.remaps += f.remaps;
+    total.failed_requests += f.failed_requests;
+    total.rebuild_ios += f.rebuild_ios;
+    total.rebuild_ms += f.rebuild_ms;
+    total.degraded_ms += f.degraded_ms;
+  }
+  return total;
+}
+
+void ArrayManager::AttachFaultModels(const std::vector<FaultModel*>& models,
+                                     const RecoveryPolicy& policy) {
+  MSTK_CHECK(models.size() == devices_.size(), "one fault model slot per device");
+  for (int d = 0; d < device_count(); ++d) {
+    if (models[static_cast<size_t>(d)] == nullptr) {
+      continue;
+    }
+    Driver* driver = per_device_[static_cast<size_t>(d)].driver.get();
+    driver->EnableRecovery(models[static_cast<size_t>(d)], policy);
+    driver->set_degraded_sink([this, d](TimeMs now) { FailDevice(d, now); });
+  }
+}
+
+std::vector<ArrayManager::RoutedOp> ArrayManager::RouteRequest(const Request& req) {
+  const TimeMs now = sim_->NowMs();
+  std::vector<RaidPlanner::MemberOp> plan;
+  if (req.is_read()) {
+    const RaidPlanner::MirrorCost mirror_cost = [this](int slot, const Request& probe,
+                                                       TimeMs at) {
+      const int dev = super_.slot_to_device[static_cast<size_t>(slot)];
+      return devices_[static_cast<size_t>(dev)]->EstimatePositioningMs(probe, at);
+    };
+    plan = planner_.PlanRead(req, super_.slot_failed, now, mirror_cost);
+  } else {
+    plan = planner_.PlanWrite(req, super_.slot_failed);
+  }
+
+  std::vector<RoutedOp> routed;
+  routed.reserve(plan.size());
+  for (const RaidPlanner::MemberOp& op : plan) {
+    routed.push_back(RoutedOp{super_.slot_to_device[static_cast<size_t>(op.member)], op});
+  }
+
+  // During a rebuild, writes that land on the failed slot below the rebuild
+  // cursor also go to the rebuild target: those member blocks were already
+  // copied, and the copy must not go stale before promotion. Blocks at or
+  // above the cursor are picked up when the rebuild gets there.
+  if (!req.is_read() && super_.state == ArrayState::kRebuilding) {
+    const int s = super_.rebuild_slot;
+    const int64_t unit = config_.raid.stripe_unit_blocks;
+    std::vector<std::pair<int64_t, int32_t>> spans;  // member-space (lbn, blocks)
+    if (config_.raid.level == RaidLevel::kRaid1) {
+      spans.emplace_back(req.lbn, req.block_count);
+    } else if (config_.raid.level == RaidLevel::kRaid5) {
+      int64_t cursor = req.lbn;
+      int64_t remaining = req.block_count;
+      while (remaining > 0) {
+        const int64_t in_unit = cursor % unit;
+        const int32_t run = static_cast<int32_t>(std::min<int64_t>(remaining, unit - in_unit));
+        const MemberBlock mb = planner_.MapRaid5Data(cursor);
+        if (mb.member == s) {
+          spans.emplace_back(mb.lbn, run);
+        }
+        cursor += run;
+        remaining -= run;
+      }
+    }
+    for (const auto& [lbn, blocks] : spans) {
+      if (lbn >= super_.rebuild_cursor_blocks) {
+        continue;
+      }
+      const int32_t clipped = static_cast<int32_t>(
+          std::min<int64_t>(blocks, super_.rebuild_cursor_blocks - lbn));
+      routed.push_back(RoutedOp{
+          super_.rebuild_device,
+          RaidPlanner::MemberOp{s, lbn, clipped, IoType::kWrite, /*row=*/-1, /*phase2=*/false}});
+    }
+  }
+  return routed;
+}
+
+void ArrayManager::IssueSubOp(int64_t parent_key, PendingIo* io, const RoutedOp& routed) {
+  Request sub;
+  sub.id = next_sub_id_++;
+  sub.type = routed.op.type;
+  sub.lbn = routed.op.lbn;
+  sub.block_count = routed.op.blocks;
+  sub.arrival_ms = sim_->NowMs();
+  sub_refs_[sub.id] = SubRef{parent_key, routed.op.row, routed.op.phase2};
+  io->outstanding++;
+  per_device_[static_cast<size_t>(routed.device)].driver->Submit(sub);
+}
+
+void ArrayManager::Submit(const Request& req) {
+  MSTK_CHECK(req.lbn >= 0 && req.last_lbn() < capacity_blocks_, "request outside array capacity");
+  const TimeMs now = sim_->NowMs();
+  if (super_.state == ArrayState::kFailed) {
+    // Nothing to issue: the volume is gone. Count the failure; don't let it
+    // pollute the latency summaries.
+    failed_foreground_++;
+    metrics_->fault().failed_requests++;
+    return;
+  }
+
+  const std::vector<RoutedOp> routed = RouteRequest(req);
+  const int64_t key = next_parent_key_++;
+  PendingIo& io = pending_[key];
+  io.parent = req;
+  io.submit_ms = now;
+  metrics_->RecordDispatch(req, now, static_cast<int64_t>(pending_.size()));
+
+  // Row barriers: each phase-1 op tagged with a row holds back that row's
+  // phase-2 ops until it completes.
+  for (const RoutedOp& r : routed) {
+    if (r.op.phase2 || r.op.row < 0) {
+      continue;
+    }
+    bool found = false;
+    for (RowBarrier& rb : io.rows) {
+      if (rb.row == r.op.row) {
+        rb.reads_left++;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      io.rows.push_back(RowBarrier{r.op.row, 1});
+    }
+  }
+
+  for (const RoutedOp& r : routed) {
+    if (!r.op.phase2) {
+      IssueSubOp(key, &io, r);
+      continue;
+    }
+    bool gated = false;
+    for (const RowBarrier& rb : io.rows) {
+      if (rb.row == r.op.row && rb.reads_left > 0) {
+        gated = true;
+        break;
+      }
+    }
+    if (gated) {
+      io.held.push_back(r);
+    } else {
+      // Full-stripe rows have no phase-1 reads to wait for.
+      IssueSubOp(key, &io, r);
+    }
+  }
+
+  if (io.outstanding == 0 && io.held.empty()) {
+    // Degenerate plan (every target slot failed): nothing could be issued.
+    CompleteParent(key, &io, now);
+  }
+}
+
+void ArrayManager::CompleteParent(int64_t parent_key, PendingIo* io, TimeMs now_ms) {
+  if (io->parent.failed) {
+    failed_foreground_++;
+    metrics_->fault().failed_requests++;
+  }
+  metrics_->RecordCompletion(io->parent, now_ms, now_ms - io->submit_ms);
+  pending_.erase(parent_key);
+}
+
+void ArrayManager::OnMemberCompletion(int device, const Request& sub, TimeMs now_ms) {
+  (void)device;
+  const auto ref_it = sub_refs_.find(sub.id);
+  if (ref_it != sub_refs_.end()) {
+    const SubRef ref = ref_it->second;
+    sub_refs_.erase(ref_it);
+    const auto io_it = pending_.find(ref.parent_key);
+    if (io_it == pending_.end()) {
+      return;  // orphan from before a Restart()
+    }
+    PendingIo& io = io_it->second;
+    io.outstanding--;
+    if (sub.failed) {
+      io.parent.failed = true;
+    }
+    if (!ref.phase2 && ref.row >= 0) {
+      for (RowBarrier& rb : io.rows) {
+        if (rb.row != ref.row) {
+          continue;
+        }
+        if (--rb.reads_left == 0) {
+          // The row's reads are in: release its held phase-2 writes.
+          auto held = std::move(io.held);
+          io.held.clear();
+          for (const RoutedOp& r : held) {
+            if (r.op.row == ref.row) {
+              IssueSubOp(ref.parent_key, &io, r);
+            } else {
+              io.held.push_back(r);
+            }
+          }
+        }
+        break;
+      }
+    }
+    if (io.outstanding == 0 && io.held.empty()) {
+      CompleteParent(ref.parent_key, &io, now_ms);
+    }
+    return;
+  }
+
+  // Rebuild traffic for the chunk in flight.
+  const auto read_it = chunk_read_ids_.find(sub.id);
+  if (read_it != chunk_read_ids_.end()) {
+    chunk_read_ids_.erase(read_it);
+    if (chunk_read_ids_.empty() && super_.state == ArrayState::kRebuilding) {
+      // Survivor reads done: copy the reconstructed chunk onto the target.
+      Request write;
+      write.type = IoType::kWrite;
+      write.lbn = super_.rebuild_cursor_blocks;
+      write.block_count = chunk_blocks_;
+      SubmitRebuildIo(super_.rebuild_device, write);
+    }
+    return;
+  }
+  if (sub.id == chunk_write_id_ && super_.state == ArrayState::kRebuilding) {
+    CommitChunk(now_ms);
+    return;
+  }
+  // Orphaned rebuild I/O from before a Restart(), or BackgroundRunner
+  // bookkeeping traffic: nothing to do.
+}
+
+void ArrayManager::SubmitRebuildIo(int device, const Request& io) {
+  Request task = io;
+  const bool is_write = task.type == IoType::kWrite;
+  if (config_.rebuild_policy == RebuildPolicy::kIdle) {
+    const int64_t id = per_device_[static_cast<size_t>(device)].background->Enqueue(task);
+    if (is_write) {
+      chunk_write_id_ = id;
+    } else {
+      chunk_read_ids_[id] = true;
+    }
+    return;
+  }
+  task.id = next_greedy_id_++;
+  task.background = true;
+  task.arrival_ms = sim_->NowMs();
+  if (is_write) {
+    chunk_write_id_ = task.id;
+  } else {
+    chunk_read_ids_[task.id] = true;
+  }
+  per_device_[static_cast<size_t>(device)].driver->Submit(task);
+}
+
+void ArrayManager::StartNextChunk(TimeMs now_ms) {
+  (void)now_ms;
+  MSTK_CHECK(super_.state == ArrayState::kRebuilding, "chunk outside a rebuild");
+  chunk_read_ids_.clear();
+  chunk_write_id_ = -1;
+  const int64_t cursor = super_.rebuild_cursor_blocks;
+  chunk_blocks_ = static_cast<int32_t>(
+      std::min<int64_t>(config_.rebuild_chunk_blocks, member_extent_ - cursor));
+  MSTK_CHECK(chunk_blocks_ > 0, "rebuild past the member extent");
+
+  Request read;
+  read.type = IoType::kRead;
+  read.lbn = cursor;
+  read.block_count = chunk_blocks_;
+  if (config_.raid.level == RaidLevel::kRaid1) {
+    // Mirror rebuild: one live copy suffices.
+    for (int s = 0; s < config_.active_members; ++s) {
+      if (!super_.slot_failed[static_cast<size_t>(s)]) {
+        SubmitRebuildIo(super_.slot_to_device[static_cast<size_t>(s)], read);
+        break;
+      }
+    }
+  } else {
+    // RAID-5: the chunk is reconstructed from every surviving slot's blocks
+    // at the same member offsets (data and parity alike).
+    for (int s = 0; s < config_.active_members; ++s) {
+      if (s == super_.rebuild_slot) {
+        continue;
+      }
+      MSTK_CHECK(!super_.slot_failed[static_cast<size_t>(s)],
+                 "rebuilding with a second failed slot");
+      SubmitRebuildIo(super_.slot_to_device[static_cast<size_t>(s)], read);
+    }
+  }
+}
+
+void ArrayManager::CommitChunk(TimeMs now_ms) {
+  super_.rebuild_cursor_blocks += chunk_blocks_;
+  super_.Bump(now_ms);
+  rebuild_chunks_committed_++;
+  chunk_write_id_ = -1;
+  chunk_blocks_ = 0;
+  if (super_.rebuild_cursor_blocks >= member_extent_) {
+    FinishRebuild(now_ms);
+  } else {
+    StartNextChunk(now_ms);
+  }
+}
+
+void ArrayManager::FinishRebuild(TimeMs now_ms) {
+  const int s = super_.rebuild_slot;
+  super_.slot_to_device[static_cast<size_t>(s)] = super_.rebuild_device;
+  super_.slot_failed[static_cast<size_t>(s)] = false;
+  super_.rebuild_slot = -1;
+  super_.rebuild_device = -1;
+  super_.rebuild_cursor_blocks = 0;
+  SetState(ArrayState::kResync, now_ms);
+  ScheduleResyncDwell();
+}
+
+void ArrayManager::ScheduleResyncDwell() {
+  const int64_t epoch = restart_epoch_;
+  sim_->ScheduleAfter(config_.resync_dwell_ms, [this, epoch] {
+    if (epoch != restart_epoch_ || super_.state != ArrayState::kResync) {
+      return;
+    }
+    const bool any_failed = std::any_of(super_.slot_failed.begin(), super_.slot_failed.end(),
+                                        [](bool f) { return f; });
+    const TimeMs now = sim_->NowMs();
+    SetState(any_failed ? ArrayState::kDegraded : ArrayState::kOptimal, now);
+    MaybeStartRebuild(now);
+  });
+}
+
+void ArrayManager::MaybeStartRebuild(TimeMs now_ms) {
+  if (super_.state != ArrayState::kDegraded || super_.spare_pool.empty()) {
+    return;
+  }
+  int slot = -1;
+  for (int s = 0; s < config_.active_members; ++s) {
+    if (super_.slot_failed[static_cast<size_t>(s)]) {
+      slot = s;
+      break;
+    }
+  }
+  if (slot < 0) {
+    return;
+  }
+  super_.rebuild_slot = slot;
+  super_.rebuild_device = super_.spare_pool.front();
+  super_.spare_pool.erase(super_.spare_pool.begin());
+  super_.rebuild_cursor_blocks = 0;
+  SetState(ArrayState::kRebuilding, now_ms);
+  StartNextChunk(now_ms);
+}
+
+void ArrayManager::FailDevice(int device, TimeMs now_ms) {
+  MSTK_CHECK(device >= 0 && device < device_count(), "bad device index");
+  if (super_.device_failed[static_cast<size_t>(device)]) {
+    return;
+  }
+  super_.device_failed[static_cast<size_t>(device)] = true;
+  super_.Bump(now_ms);
+
+  // A pooled spare dying just shrinks the pool.
+  const auto pool_it =
+      std::find(super_.spare_pool.begin(), super_.spare_pool.end(), device);
+  if (pool_it != super_.spare_pool.end()) {
+    super_.spare_pool.erase(pool_it);
+    return;
+  }
+
+  // The current rebuild target dying aborts the copy; the slot stays failed
+  // and the next spare (if any) restarts the rebuild from zero.
+  if (device == super_.rebuild_device) {
+    chunk_read_ids_.clear();
+    chunk_write_id_ = -1;
+    chunk_blocks_ = 0;
+    super_.rebuild_slot = -1;  // the slot itself stays failed
+    super_.rebuild_device = -1;
+    super_.rebuild_cursor_blocks = 0;
+    SetState(ArrayState::kDegraded, now_ms);
+    MaybeStartRebuild(now_ms);
+    return;
+  }
+
+  // An active member died.
+  int slot = -1;
+  for (int s = 0; s < config_.active_members; ++s) {
+    if (super_.slot_to_device[static_cast<size_t>(s)] == device) {
+      slot = s;
+      break;
+    }
+  }
+  if (slot < 0) {
+    return;  // already-retired device
+  }
+  super_.slot_failed[static_cast<size_t>(slot)] = true;
+
+  if (planner_.HealthFor(super_.slot_failed) == ArrayHealth::kFailed) {
+    // Beyond the level's tolerance: stop everything, surface the state.
+    chunk_read_ids_.clear();
+    chunk_write_id_ = -1;
+    super_.rebuild_slot = -1;
+    super_.rebuild_device = -1;
+    super_.rebuild_cursor_blocks = 0;
+    SetState(ArrayState::kFailed, now_ms);
+    return;
+  }
+  if (super_.state == ArrayState::kRebuilding) {
+    // RAID-1 can lose another mirror while one rebuilds; the new slot waits
+    // its turn (the resync dwell re-checks for failed slots).
+    return;
+  }
+  SetState(ArrayState::kDegraded, now_ms);
+  MaybeStartRebuild(now_ms);
+}
+
+void ArrayManager::Restart() {
+  ++restart_epoch_;
+  pending_.clear();
+  sub_refs_.clear();
+  chunk_read_ids_.clear();
+  chunk_write_id_ = -1;
+  chunk_blocks_ = 0;
+  for (PerDevice& pd : per_device_) {
+    pd.background->DropPending();
+  }
+  ResumeFromSuperblock();
+}
+
+}  // namespace mstk

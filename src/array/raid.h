@@ -3,20 +3,26 @@
 // The paper argues MEMS-based storage is a much better mechanical match for
 // code-based redundancy (RAID-5) than disks because the read-modify-write
 // at the heart of every small parity update costs a sled turnaround instead
-// of a full platter rotation. This module makes that quantitative: a
-// RaidArray composes N member devices (any mix of models) behind the same
-// StorageDevice interface.
+// of a full platter rotation. This module makes that quantitative in two
+// layers:
 //
-// Timing model: one array request is decomposed into member operations with
-// per-member sequencing and per-stripe-row barriers (parity updates wait
-// for the old-data/old-parity reads of their row). Members operate in
-// parallel otherwise. Like the underlying devices, the array services one
-// request at a time — the host-side queue lives in the Driver.
+//  - RaidPlanner: pure address math and request planning. An array request
+//    is decomposed into member operations with per-stripe-row barriers
+//    (parity updates wait for the old-data/old-parity reads of their row).
+//    The planner is stateless over a failed-member bitmap, so the inline
+//    timing model below and the managed ArrayManager (array_manager.h)
+//    share one planning truth.
+//  - RaidArray: the standalone timing model. Composes N member devices
+//    (any mix of models) behind the StorageDevice interface and executes
+//    plans inline with per-member sequencing. Like the underlying devices,
+//    the array services one request at a time — the host-side queue lives
+//    in the Driver.
 #ifndef MSTK_SRC_ARRAY_RAID_H_
 #define MSTK_SRC_ARRAY_RAID_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,8 +43,93 @@ struct RaidConfig {
   int32_t stripe_unit_blocks = 64;
 };
 
+// Whether the array can still serve every address, given its failed members.
+// RAID-0 tolerates none, RAID-5 exactly one, RAID-1 all but one.
+enum class ArrayHealth {
+  kHealthy,   // no failed members
+  kDegraded,  // failures within the level's fault tolerance
+  kFailed     // unrecoverable: more failures than the level tolerates
+};
+
+const char* ArrayHealthName(ArrayHealth health);
+
+// Address math result: an array block's home on one member.
+struct MemberBlock {
+  int member;
+  int64_t lbn;
+};
+
+// Stateless request planner over a RAID geometry. All planning is in "slot"
+// space: member indices name stripe slots, and a caller that promotes hot
+// spares (ArrayManager) routes slots to physical devices itself.
+class RaidPlanner {
+ public:
+  // One member operation within an array request plan.
+  struct MemberOp {
+    int member;
+    int64_t lbn;
+    int32_t blocks;
+    IoType type;
+    int64_t row;    // stripe row (phase barrier domain); -1 = none
+    bool phase2;    // parity/data write that must wait for its row's reads
+  };
+
+  // Positioning-cost probe for RAID-1 read placement: estimated positioning
+  // delay of reading `req`'s extent from live member `member` if dispatched
+  // at `at_ms`.
+  using MirrorCost = std::function<TimeMs(int member, const Request& req, TimeMs at_ms)>;
+
+  RaidPlanner(const RaidConfig& config, int member_count);
+
+  const RaidConfig& config() const { return config_; }
+  int member_count() const { return member_count_; }
+
+  // Usable array capacity with every member truncated to
+  // `member_capacity_blocks` (rounded down to whole stripe units).
+  [[nodiscard]] int64_t CapacityBlocks(int64_t member_capacity_blocks) const;
+  // Member capacity consumed by an array of `capacity_blocks` (the inverse
+  // of CapacityBlocks for stripe-unit-aligned sizes).
+  [[nodiscard]] int64_t MemberBlocksFor(int64_t capacity_blocks) const;
+
+  // Health implied by a failed-member bitmap — the fault-tolerance
+  // validation for every failure transition.
+  [[nodiscard]] ArrayHealth HealthFor(const std::vector<bool>& failed) const;
+
+  // Address math: maps an array block to (member, lbn).
+  [[nodiscard]] MemberBlock MapRaid0(int64_t array_lbn) const;
+  [[nodiscard]] MemberBlock MapRaid5Data(int64_t array_lbn) const;
+  // Parity member for a RAID-5 stripe row.
+  [[nodiscard]] int Raid5ParityMember(int64_t row) const;
+
+  // Plans a read issued at `at_ms`. Degraded RAID-5 reads reconstruct from
+  // the survivors of the failed member's rows; RAID-1 picks the live mirror
+  // with the cheapest positioning per `mirror_cost` (a null callback falls
+  // back to the first live mirror). `failed` must be within the level's
+  // fault tolerance (HealthFor != kFailed).
+  [[nodiscard]] std::vector<MemberOp> PlanRead(const Request& req,
+                                               const std::vector<bool>& failed, TimeMs at_ms,
+                                               const MirrorCost& mirror_cost) const;
+  // Plans a write: full-stripe RAID-5 writes skip the read-modify-write;
+  // partial writes read old data + old parity first (phase 1) and gate the
+  // new-data/new-parity writes on them (phase 2). With a failed data member
+  // the parity unit is reconstructed from full surviving units and written
+  // in full.
+  [[nodiscard]] std::vector<MemberOp> PlanWrite(const Request& req,
+                                                const std::vector<bool>& failed) const;
+
+ private:
+  void PlanRaid5RowWrite(int64_t row, int64_t first_unit, int64_t last_unit,
+                         int64_t lbn_in_row_first, int32_t blocks,
+                         const std::vector<bool>& failed, std::vector<MemberOp>* ops) const;
+
+  RaidConfig config_;
+  int member_count_;
+};
+
 class RaidArray : public StorageDevice {
  public:
+  using MemberOp = RaidPlanner::MemberOp;
+
   // Members are borrowed and must outlive the array. All members must have
   // equal capacity (the array uses the minimum).
   RaidArray(const RaidConfig& config, std::vector<StorageDevice*> members);
@@ -46,7 +137,7 @@ class RaidArray : public StorageDevice {
   const char* name() const override { return name_.c_str(); }
   int64_t CapacityBlocks() const override { return capacity_blocks_; }
   [[nodiscard]] double ServiceRequest(const Request& req, TimeMs start_ms,
-                        ServiceBreakdown* breakdown = nullptr) override;
+                                      ServiceBreakdown* breakdown = nullptr) override;
   [[nodiscard]] TimeMs EstimatePositioningMs(const Request& req, TimeMs at_ms) const override;
   // Degraded penalty of the slowest member: array operations fan out to all
   // members, so the worst member's surcharge bounds the array's.
@@ -59,49 +150,42 @@ class RaidArray : public StorageDevice {
   }
   void Reset() override;
 
-  const RaidConfig& config() const { return config_; }
+  const RaidConfig& config() const { return planner_.config(); }
+  const RaidPlanner& planner() const { return planner_; }
   int member_count() const { return static_cast<int>(members_.size()); }
 
-  // Marks a member failed/repaired; reads reconstruct from the survivors,
-  // writes skip the failed member. At most one failure is tolerated
-  // (RAID-1 with N > 2 tolerates N-1).
+  // Marks a member failed/repaired and revalidates fault tolerance: a
+  // failure beyond the level's tolerance (any on RAID-0, a second on
+  // RAID-5, the last mirror on RAID-1) transitions the array to
+  // ArrayHealth::kFailed instead of crashing later inside planning.
+  // Callers must check health() before issuing I/O to a failed array.
   void SetMemberFailed(int member, bool failed);
   bool member_failed(int member) const { return failed_[static_cast<size_t>(member)]; }
+  ArrayHealth health() const { return health_; }
 
-  // Address math, exposed for tests: maps an array block to (member, lbn).
-  struct MemberBlock {
-    int member;
-    int64_t lbn;
-  };
-  [[nodiscard]] MemberBlock MapRaid0(int64_t array_lbn) const;
-  [[nodiscard]] MemberBlock MapRaid5Data(int64_t array_lbn) const;
-  // Parity member for a RAID-5 stripe row.
-  int Raid5ParityMember(int64_t row) const;
+  // Address math, exposed for tests (delegates to the planner).
+  [[nodiscard]] MemberBlock MapRaid0(int64_t array_lbn) const {
+    return planner_.MapRaid0(array_lbn);
+  }
+  [[nodiscard]] MemberBlock MapRaid5Data(int64_t array_lbn) const {
+    return planner_.MapRaid5Data(array_lbn);
+  }
+  [[nodiscard]] int Raid5ParityMember(int64_t row) const {
+    return planner_.Raid5ParityMember(row);
+  }
 
  private:
-  // One member operation within an array request.
-  struct MemberOp {
-    int member;
-    int64_t lbn;
-    int32_t blocks;
-    IoType type;
-    int64_t row;    // stripe row (phase barrier domain); -1 = none
-    bool phase2;    // parity/data write that must wait for its row's reads
-  };
-
-  std::vector<MemberOp> PlanRead(const Request& req) const;
-  std::vector<MemberOp> PlanWrite(const Request& req) const;
-  void PlanRaid5RowWrite(int64_t row, int64_t first_unit, int64_t last_unit,
-                         int64_t lbn_in_row_first, int32_t blocks,
-                         std::vector<MemberOp>* ops) const;
+  // Plans `req` as issued at `at_ms` against the current failure state.
+  [[nodiscard]] std::vector<MemberOp> Plan(const Request& req, TimeMs at_ms) const;
 
   // Executes the op graph starting at `start_ms`; returns completion time.
   double Execute(const std::vector<MemberOp>& ops, TimeMs start_ms,
                  ServiceBreakdown* breakdown);
 
-  RaidConfig config_;
+  RaidPlanner planner_;
   std::vector<StorageDevice*> members_;
   std::vector<bool> failed_;
+  ArrayHealth health_ = ArrayHealth::kHealthy;
   std::string name_;
   int64_t member_capacity_ = 0;
   int64_t capacity_blocks_ = 0;

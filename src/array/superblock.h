@@ -1,0 +1,69 @@
+// Versioned, timestamped array metadata — the persistent truth an
+// ArrayManager consults across "restarts".
+//
+// Real volume managers (md, libmdadm's RAIDManager, the SOverhead records
+// in SNIPPETS.md) stamp every state transition into on-media metadata so a
+// crash mid-rebuild resumes where it left off instead of restarting from
+// block zero. Our simulated equivalent is this plain value type: the
+// manager bumps `version` and `updated_ms` on every lifecycle transition
+// and every committed rebuild chunk, and a new manager constructed from a
+// copied superblock adopts the recorded state (ArrayManager::Restart and
+// the restore constructor).
+#ifndef MSTK_SRC_ARRAY_SUPERBLOCK_H_
+#define MSTK_SRC_ARRAY_SUPERBLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/units.h"
+
+namespace mstk {
+
+// Array lifecycle (§6.2 + ROADMAP item 1). ArrayHealth (raid.h) answers
+// "can every address be served right now"; ArrayState adds the management
+// view: what the volume manager is doing about it.
+enum class ArrayState {
+  kOptimal,     // all active slots healthy
+  kDegraded,    // failed slot(s) within fault tolerance, no rebuild running
+  kRebuilding,  // spare promoted as rebuild target, copy-back in progress
+  kResync,      // rebuild copied every block; parity verify dwell
+  kFailed       // failures exceed the RAID level's tolerance
+};
+
+const char* ArrayStateName(ArrayState state);
+
+struct ArraySuperblock {
+  // Monotonic metadata generation; every mutation bumps it. A restarted
+  // manager trusts the highest version it finds.
+  int64_t version = 0;
+  // Virtual timestamp of the last bump.
+  TimeMs updated_ms = 0.0;
+
+  ArrayState state = ArrayState::kOptimal;
+
+  // Stripe-slot routing: slot s of the RAID geometry lives on physical
+  // device slot_to_device[s]. Spare promotion repoints an entry.
+  std::vector<int> slot_to_device;
+  // Slots whose device failed and whose data has not been fully rebuilt.
+  std::vector<bool> slot_failed;
+  // Physical devices that have failed (actives and spares).
+  std::vector<bool> device_failed;
+  // Physical devices standing by as hot spares (in promotion order).
+  std::vector<int> spare_pool;
+
+  // Rebuild progress: slot being rebuilt, the spare device receiving the
+  // copy, and the first member block not yet rebuilt. Meaningful only in
+  // kRebuilding; the cursor survives restarts.
+  int rebuild_slot = -1;
+  int rebuild_device = -1;
+  int64_t rebuild_cursor_blocks = 0;
+
+  void Bump(TimeMs now_ms) {
+    ++version;
+    updated_ms = now_ms;
+  }
+};
+
+}  // namespace mstk
+
+#endif  // MSTK_SRC_ARRAY_SUPERBLOCK_H_

@@ -30,13 +30,15 @@ BackgroundRunner::BackgroundRunner(Simulator* sim, Driver* driver,
   });
 }
 
-void BackgroundRunner::Enqueue(Request task) {
-  task.id = id_base_ + next_seq_++;
+int64_t BackgroundRunner::Enqueue(Request task) {
+  const int64_t id = id_base_ + next_seq_++;
+  task.id = id;
   task.background = true;
   tasks_.push_back(std::move(task));
   if (!driver_->device_busy() && driver_->queued() == 0) {
     OnIdle(sim_->NowMs());
   }
+  return id;
 }
 
 void BackgroundRunner::OnIdle(TimeMs now_ms) {

@@ -204,6 +204,9 @@ void Driver::StartAttempt(const Request& req, int attempt, double fault_ms,
         if (rebuild_sink_) {
           rebuild_sink_(req.lbn, req.block_count);
         }
+      } else if (degraded_sink_ && !degraded_notified_ && fault_model_->degraded()) {
+        degraded_notified_ = true;
+        degraded_sink_(sim_->NowMs());
       }
       break;
     case FaultType::kNone:

@@ -60,6 +60,14 @@ class Driver {
     rebuild_sink_ = std::move(sink);
   }
 
+  // Fires exactly once, the first time the fault model reports the device
+  // degraded (a permanent fault found no spare left to remap onto). An
+  // ArrayManager uses this to fail the member out of the array and promote a
+  // hot spare.
+  void set_degraded_sink(std::function<void(TimeMs now_ms)> sink) {
+    degraded_sink_ = std::move(sink);
+  }
+
   // Fires when a request completes (closed-loop workloads, power policies,
   // background work). Multiple listeners fire in registration order.
   void AddCompletionListener(std::function<void(const Request&, TimeMs now_ms)> cb) {
@@ -139,6 +147,8 @@ class Driver {
   FaultModel* fault_model_ = nullptr;
   RecoveryPolicy recovery_;
   std::function<void(int64_t, int32_t)> rebuild_sink_;
+  std::function<void(TimeMs)> degraded_sink_;
+  bool degraded_notified_ = false;
 };
 
 }  // namespace mstk

@@ -210,6 +210,151 @@ TEST(RaidContrastTest, MemsRaid5SmallWriteFarCheaperThanDisk) {
   EXPECT_GT(disk_total / mems_total, 8.0);
 }
 
+// Regression: PlanRead's coalescing used to merge any physically adjacent
+// ops per member, including a reconstruct read (row-tagged, barrier-bearing)
+// with an untagged plain read next to it — the merged op inherited the
+// first op's row and the barrier accounting went wrong. With n=3 and member
+// 1 failed, reading array [128, 320) puts a plain read of member 0's lbns
+// [64, 128) (unit 2) right next to a reconstruct read of [128, 192)
+// (unit 4's row): adjacent, different rows, must stay separate.
+TEST(RaidRegressionTest, CoalescingKeepsReconstructReadsSeparate) {
+  const RaidPlanner planner(RaidConfig{RaidLevel::kRaid5, 64}, 3);
+  const std::vector<bool> failed = {false, true, false};
+  const std::vector<RaidPlanner::MemberOp> plan =
+      planner.PlanRead(MakeReq(128, 192), failed, 0.0, nullptr);
+
+  // Members 0 and 2 each see the plain read and the reconstruct read as two
+  // distinct ops with their own row tags; nothing targets the failed member.
+  for (const int member : {0, 2}) {
+    int plain = 0;
+    int reconstruct = 0;
+    for (const auto& op : plan) {
+      if (op.member != member) {
+        continue;
+      }
+      if (op.row < 0) {
+        ++plain;
+        EXPECT_EQ(op.lbn, 64);
+        EXPECT_EQ(op.blocks, 64);
+      } else {
+        ++reconstruct;
+        EXPECT_EQ(op.row, 2);
+        EXPECT_EQ(op.lbn, 128);
+        EXPECT_EQ(op.blocks, 64);
+      }
+    }
+    EXPECT_EQ(plain, 1) << "member " << member;
+    EXPECT_EQ(reconstruct, 1) << "member " << member;
+  }
+  for (const auto& op : plan) {
+    EXPECT_NE(op.member, 1);
+  }
+}
+
+// Minimal device that records the `at_ms` each positioning probe is made at.
+class ProbeRecordingDevice : public StorageDevice {
+ public:
+  const char* name() const override { return "probe"; }
+  int64_t CapacityBlocks() const override { return 1 << 20; }
+  [[nodiscard]] double ServiceRequest(const Request& req, TimeMs start_ms,
+                                      ServiceBreakdown* breakdown = nullptr) override {
+    (void)start_ms;
+    (void)breakdown;
+    activity_.requests += 1;
+    if (req.is_read()) {
+      activity_.blocks_read += req.block_count;
+    } else {
+      activity_.blocks_written += req.block_count;
+    }
+    return 0.1;
+  }
+  [[nodiscard]] TimeMs EstimatePositioningMs(const Request& req, TimeMs at_ms) const override {
+    (void)req;
+    probed_at_ms_.push_back(at_ms);
+    return 0.05;
+  }
+  void Reset() override {
+    probed_at_ms_.clear();
+    activity_ = DeviceActivity{};
+  }
+
+  mutable std::vector<TimeMs> probed_at_ms_;
+};
+
+// Regression: RAID-1 mirror selection probed every mirror at time 0.0
+// regardless of when the read was actually issued, so time-dependent device
+// models (disks, whose rotational position depends on the clock) were ranked
+// by stale state. The request's start time must reach the probe.
+TEST(RaidRegressionTest, MirrorSelectionProbesAtRequestTime) {
+  std::vector<ProbeRecordingDevice> probes(3);
+  std::vector<StorageDevice*> members;
+  for (auto& p : probes) {
+    members.push_back(&p);
+  }
+  RaidArray raid(RaidConfig{RaidLevel::kRaid1, 64}, members);
+  (void)raid.ServiceRequest(MakeReq(4096, 8), 123.0);
+  for (const auto& p : probes) {
+    ASSERT_EQ(p.probed_at_ms_.size(), 1u);
+    EXPECT_EQ(p.probed_at_ms_[0], 123.0);
+  }
+}
+
+// Regression: a second RAID-5 failure used to be accepted silently and only
+// blew up later, deep inside a degraded-read plan. The transition itself now
+// surfaces the unrecoverable state.
+TEST(RaidRegressionTest, OverToleranceFailureSurfacesAsFailedHealth) {
+  std::vector<std::unique_ptr<MemsDevice>> devices;
+  std::vector<StorageDevice*> members;
+  for (int i = 0; i < 5; ++i) {
+    devices.push_back(std::make_unique<MemsDevice>());
+    members.push_back(devices.back().get());
+  }
+  RaidArray raid(RaidConfig{RaidLevel::kRaid5, 64}, members);
+  EXPECT_EQ(raid.health(), ArrayHealth::kHealthy);
+  raid.SetMemberFailed(0, true);
+  EXPECT_EQ(raid.health(), ArrayHealth::kDegraded);
+  raid.SetMemberFailed(1, true);  // over tolerance: no crash, state surfaces
+  EXPECT_EQ(raid.health(), ArrayHealth::kFailed);
+  raid.SetMemberFailed(1, false);  // repair brings it back within tolerance
+  EXPECT_EQ(raid.health(), ArrayHealth::kDegraded);
+  raid.Reset();
+  EXPECT_EQ(raid.health(), ArrayHealth::kHealthy);
+}
+
+// Regression: a degraded partial write (reconstruct-write mode) recomputes
+// parity from *full* surviving units, but used to write only the request's
+// span of the parity unit — leaving the rest of the unit inconsistent with
+// what it was computed from. The whole parity unit must be written.
+TEST(RaidRegressionTest, ReconstructWriteWritesFullParityUnit) {
+  const RaidPlanner planner(RaidConfig{RaidLevel::kRaid5, 64}, 3);
+  // Member 0 holds unit 0 of row 0 (parity for row 0 is member 2); fail it
+  // and write a 16-block span inside that unit.
+  std::vector<bool> failed = {true, false, false};
+  const std::vector<RaidPlanner::MemberOp> plan =
+      planner.PlanWrite(MakeReq(8, 16, IoType::kWrite), failed);
+
+  int64_t parity_write_blocks = -1;
+  int64_t parity_write_lbn = -1;
+  int full_unit_reads = 0;
+  for (const auto& op : plan) {
+    EXPECT_NE(op.member, 0) << "op issued against the failed member";
+    if (op.member == 2 && op.type == IoType::kWrite) {
+      parity_write_lbn = op.lbn;
+      parity_write_blocks = op.blocks;
+      EXPECT_TRUE(op.phase2);
+    }
+    if (op.type == IoType::kRead && op.lbn == 0 && op.blocks == 64) {
+      ++full_unit_reads;
+    }
+  }
+  // Parity is written whole, and both the surviving data unit (member 1) and
+  // the old parity (member 2 — the failed unit is only partially overwritten,
+  // so its untouched blocks live only in the old parity) are read in full.
+  EXPECT_EQ(parity_write_lbn, 0);
+  EXPECT_EQ(parity_write_blocks, 64);
+  EXPECT_EQ(full_unit_reads, 2);
+}
+
 TEST(RaidValidationTest, EstimateNeverExceedsService) {
   std::vector<std::unique_ptr<MemsDevice>> devices;
   std::vector<StorageDevice*> members;

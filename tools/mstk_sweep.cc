@@ -22,6 +22,7 @@
 //   sched_tpcc    Fig 7(b) matrix: 4 schedulers x 7 trace time scales
 //   faults        §6 online fault injection & recovery matrix (CI gate)
 //   layouts       layout cube: every LayoutPolicy x 2 workloads x 2 schedulers
+//   arrays        managed-array lifecycle: width x rebuild policy x fault rate
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +33,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/array/array_experiment.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/thread_pool.h"
 
@@ -44,7 +46,7 @@ struct SweepCell {
   // Distinct offset per seed group: cells sharing an offset (e.g. every
   // scheduler at one rate) replay identical request streams.
   int64_t seed_offset;
-  std::function<ExperimentResult(uint64_t seed, TraceTrack trace)> trial;
+  std::function<TrialMetrics(uint64_t seed, TraceTrack trace)> trial;
 };
 
 constexpr SchedKind kAllScheds[] = {SchedKind::kFcfs, SchedKind::kSstfLbn,
@@ -60,7 +62,8 @@ std::vector<SweepCell> BuildSweep(const std::string& name) {
         cells.push_back({"rate" + Fmt("%.0f", rate) + "/" + SchedKindName(sched),
                          static_cast<int64_t>(r),
                          [sched, rate, count](uint64_t seed, TraceTrack trace) {
-                           return RunRandomSchedTrial(sched, rate, count, seed, trace);
+                           return MetricsFromExperiment(
+                               RunRandomSchedTrial(sched, rate, count, seed, trace));
                          }});
       }
     }
@@ -79,10 +82,10 @@ std::vector<SweepCell> BuildSweep(const std::string& name) {
                                    FaultRunConfig config, bool disk) {
       cells.push_back({label, offset,
                        [sched, rate, count, config, disk](uint64_t seed, TraceTrack trace) {
-                         return disk ? RunFaultedDiskTrial(sched, rate, count, config,
-                                                           seed, trace)
-                                     : RunFaultedRandomTrial(sched, rate, count, config,
-                                                             seed, trace);
+                         return MetricsFromExperiment(
+                             disk ? RunFaultedDiskTrial(sched, rate, count, config, seed, trace)
+                                  : RunFaultedRandomTrial(sched, rate, count, config, seed,
+                                                          trace));
                        }});
     };
     FaultRunConfig transient;
@@ -126,7 +129,44 @@ std::vector<SweepCell> BuildSweep(const std::string& name) {
               {std::string(policy->name()) + "/" + wl.label + "/" + SchedKindName(sched),
                wl.offset,
                [policy, cello = wl.cello, sched](uint64_t seed, TraceTrack trace) {
-                 return RunLayoutSchedTrial(*policy, cello, sched, 4000, seed, trace);
+                 return MetricsFromExperiment(
+                     RunLayoutSchedTrial(*policy, cello, sched, 4000, seed, trace));
+               }});
+        }
+      }
+    }
+  } else if (name == "arrays") {
+    // Managed-array lifecycle matrix: stripe width x rebuild policy x member
+    // fault rate, 16+ devices per array. Every cell schedules a device-0
+    // failure early in the run, so the degraded -> rebuilding -> resync
+    // cycle (and its rebuild I/O, counted apart from foreground) is part of
+    // every measured trial; the fault-rate axis layers per-member
+    // transient/permanent injection on top. Cells at one width and fault
+    // rate share a seed offset, so the two rebuild policies replay the
+    // identical foreground stream.
+    for (const int width : {16, 20}) {
+      for (const double fault_rate : {0.0, 0.004}) {
+        const int64_t offset = 300 + width + (fault_rate > 0.0 ? 1 : 0);
+        for (const RebuildPolicy policy : {RebuildPolicy::kIdle, RebuildPolicy::kGreedy}) {
+          cells.push_back(
+              {"w" + std::to_string(width) + "/" + RebuildPolicyName(policy) + "/fault" +
+                   Fmt("%.3f", fault_rate),
+               offset, [width, policy, fault_rate](uint64_t seed, TraceTrack) {
+                 ArrayRunConfig config;
+                 config.manager.raid = RaidConfig{RaidLevel::kRaid5, 64};
+                 config.manager.active_members = width;
+                 config.manager.member_extent_blocks = 4096;
+                 config.manager.rebuild_policy = policy;
+                 config.manager.rebuild_chunk_blocks = 512;
+                 config.spares = 2;
+                 config.workload.arrival_rate_per_s = 1500.0;
+                 config.workload.request_count = 400;
+                 config.fail_device = 0;
+                 config.fail_at_ms = 5.0;
+                 config.transient_rate = fault_rate > 0.0 ? 0.01 : 0.0;
+                 config.permanent_rate = fault_rate;
+                 config.member_spares = 8;
+                 return RunArrayRebuildTrial(config, seed);
                }});
         }
       }
@@ -142,9 +182,9 @@ std::vector<SweepCell> BuildSweep(const std::string& name) {
                              Fmt("%.0f", scale) + "/" + SchedKindName(sched),
                          0,  // same base trace at every scale, as in the paper
                          [cello, sched, scale](uint64_t seed, TraceTrack trace) {
-                           return cello
-                                      ? RunCelloSchedTrial(sched, scale, 20000, seed, trace)
-                                      : RunTpccSchedTrial(sched, scale, 20000, seed, trace);
+                           return MetricsFromExperiment(
+                               cello ? RunCelloSchedTrial(sched, scale, 20000, seed, trace)
+                                     : RunTpccSchedTrial(sched, scale, 20000, seed, trace));
                          }});
       }
     }
@@ -166,7 +206,7 @@ std::string RunSweepJson(const std::string& sweep, const std::vector<SweepCell>&
     opts.trials = trials;
     opts.jobs = jobs;
     opts.base_seed = DeriveTrialSeed(base_seed, cell.seed_offset);
-    const AggregateResult agg = TrialRunner::RunExperiments(
+    const AggregateResult agg = TrialRunner::Run(
         opts, [&cell](uint64_t seed, int64_t) { return cell.trial(seed, TraceTrack{}); });
     json.BeginObject();
     json.KV("name", cell.name);
@@ -185,7 +225,7 @@ int Usage(const char* argv0) {
                "          [--trace PATH] [--queue-backend calendar|heap]\n"
                "       %s --list\n"
                "       %s [SWEEP] --selfcheck   (compare --jobs 1 vs parallel run)\n"
-               "sweeps: smoke sched_random sched_cello sched_tpcc faults layouts\n",
+               "sweeps: smoke sched_random sched_cello sched_tpcc faults layouts arrays\n",
                argv0, argv0, argv0);
   return 2;
 }
@@ -222,7 +262,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(arg, "--list") == 0) {
-      std::printf("smoke\nsched_random\nsched_cello\nsched_tpcc\nfaults\nlayouts\n");
+      std::printf("smoke\nsched_random\nsched_cello\nsched_tpcc\nfaults\nlayouts\narrays\n");
       return 0;
     } else if (std::strcmp(arg, "--trials") == 0) {
       trials = std::atoll(next());
