@@ -38,6 +38,9 @@
 #include "src/sched/sstf_lbn.h"
 #include "src/sim/json_writer.h"
 #include "src/sim/rng.h"
+#include "src/trace/replay.h"
+#include "src/trace/scenarios.h"
+#include "src/trace/transforms.h"
 #include "src/workload/cello_like.h"
 #include "src/workload/random_workload.h"
 #include "src/workload/tpcc_like.h"
@@ -56,6 +59,13 @@ struct BenchOptions {
   // Layout-policy selection for the layout benches: "legacy" (default),
   // "all", or a comma list of policy names (see LayoutPolicyNames()).
   std::string layouts;
+  // Trace-replay inputs (bench/trace_replay): an external v1 trace file
+  // (default: the built-in scenario zoo), the arrival-control mode
+  // ("open" / "closed" / "hybrid"), and the N-way client-multiplication
+  // fan-in factor.
+  std::string trace_file;
+  std::string arrival_mode = "open";
+  int clients = 1;
   std::string json_path;
   std::string trace_path;
 
@@ -84,6 +94,12 @@ struct BenchOptions {
         opts.fault_rate = std::atof(next());
       } else if (std::strcmp(arg, "--layouts") == 0) {
         opts.layouts = next();
+      } else if (std::strcmp(arg, "--trace-file") == 0) {
+        opts.trace_file = next();
+      } else if (std::strcmp(arg, "--arrival-mode") == 0) {
+        opts.arrival_mode = next();
+      } else if (std::strcmp(arg, "--clients") == 0) {
+        opts.clients = std::atoi(next());
       } else if (std::strcmp(arg, "--json") == 0) {
         opts.json_path = next();
       } else if (std::strcmp(arg, "--trace") == 0) {
@@ -92,7 +108,8 @@ struct BenchOptions {
         std::fprintf(stderr,
                      "usage: %s [--csv] [--fast] [--trials N] [--jobs N] "
                      "[--seed S] [--fault-rate P] [--layouts L] [--json PATH] "
-                     "[--trace PATH]\n",
+                     "[--trace PATH] [--trace-file PATH] "
+                     "[--arrival-mode open|closed|hybrid] [--clients N]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -117,7 +134,7 @@ class TableWriter {
  public:
   explicit TableWriter(bool csv) : csv_(csv) {}
 
-  void Row(const std::vector<std::string>& cells, int width = 14) const {
+  void Row(const std::vector<std::string>& cells, int width = 14, int first_width = 18) const {
     for (size_t i = 0; i < cells.size(); ++i) {
       if (csv_) {
         std::printf("%s%s", cells[i].c_str(), i + 1 < cells.size() ? "," : "");
@@ -127,7 +144,7 @@ class TableWriter {
         for (unsigned char c : cells[i]) {
           if ((c & 0xC0) != 0x80) ++display;
         }
-        const int pad = (i == 0 ? 18 : width) - display;
+        const int pad = (i == 0 ? first_width : width) - display;
         std::printf("%s%*s", cells[i].c_str(), pad > 0 ? pad : 0, "");
       }
     }
@@ -391,6 +408,87 @@ inline ExperimentResult RunCelloSchedTrial(SchedKind kind, double scale, int64_t
   Rng rng(seed);
   const auto requests = GenerateCelloLike(config, rng);
   return RunWithScheduler(&device, kind, requests, trace);
+}
+
+// As RunWithScheduler, but replays through the trace front-end's arrival
+// control (src/trace/replay.h) instead of the plain open loop.
+inline ExperimentResult ReplayTraceWithScheduler(StorageDevice* device, SchedKind kind,
+                                                 const std::vector<Request>& requests,
+                                                 const trace::ReplayConfig& config,
+                                                 TraceTrack trace_track = {}) {
+  switch (kind) {
+    case SchedKind::kFcfs: {
+      FcfsScheduler sched;
+      return trace::Replay(device, &sched, requests, config, trace_track);
+    }
+    case SchedKind::kSstfLbn: {
+      SstfLbnScheduler sched;
+      return trace::Replay(device, &sched, requests, config, trace_track);
+    }
+    case SchedKind::kClook: {
+      ClookScheduler sched;
+      return trace::Replay(device, &sched, requests, config, trace_track);
+    }
+    case SchedKind::kSptf: {
+      SptfScheduler sched(device);
+      return trace::Replay(device, &sched, requests, config, trace_track);
+    }
+  }
+  FcfsScheduler sched;
+  return trace::Replay(device, &sched, requests, config, trace_track);
+}
+
+// One `traces` matrix cell trial (tools/mstk_sweep, bench/trace_replay): the
+// named scenario is generated at the trial seed, optionally client-multiplied
+// and time-warped, remapped onto the target address space, and replayed
+// through the Driver path under the chosen arrival control. With a layout
+// policy the trace lands in the policy's logical space and goes through its
+// ExtentLayout (the layout-cube spec); without one it maps straight onto
+// device LBNs.
+struct ScenarioReplaySpec {
+  std::string scenario;
+  SchedKind sched = SchedKind::kSptf;
+  const LayoutPolicy* layout = nullptr;
+  trace::ArrivalMode mode = trace::ArrivalMode::kOpen;
+  int window = 8;
+  int clients = 1;
+  double warp = 1.0;
+  int64_t count = 2000;
+};
+
+inline ExperimentResult RunScenarioReplayTrial(const ScenarioReplaySpec& spec, uint64_t seed,
+                                               TraceTrack trace_track = {}) {
+  trace::ScenarioConfig config;
+  config.request_count = spec.count;
+  config.seed = seed;
+  trace::ParsedTrace parsed = trace::GenerateScenario(spec.scenario, config);
+  if (spec.clients > 1) {
+    parsed.records = trace::MultiplyClients(parsed.records, spec.clients,
+                                            trace::ScenarioFootprintBlocks(spec.scenario));
+  }
+  if (spec.warp != 1.0) {
+    parsed.records = trace::TimeWarp(parsed.records, spec.warp);
+  }
+  MemsDevice device;
+  trace::ReplayConfig replay;
+  replay.mode = spec.mode;
+  replay.window = spec.window;
+  if (spec.layout == nullptr) {
+    parsed.records = trace::RemapToCapacity(parsed.records, device.CapacityBlocks(),
+                                            trace::RemapMode::kScale);
+    return ReplayTraceWithScheduler(&device, spec.sched, trace::ToRequests(parsed), replay,
+                                    trace_track);
+  }
+  LayoutSpec layout_spec;
+  layout_spec.geometry = &device.geometry();
+  layout_spec.device_capacity_blocks = device.CapacityBlocks();
+  layout_spec.hot_blocks = 200000;
+  layout_spec.cold_blocks = 800000;
+  parsed.records = trace::RemapToCapacity(
+      parsed.records, layout_spec.hot_blocks + layout_spec.cold_blocks, trace::RemapMode::kScale);
+  const std::vector<Request> mapped =
+      ApplyLayout(spec.layout->Build(layout_spec), trace::ToRequests(parsed));
+  return ReplayTraceWithScheduler(&device, spec.sched, mapped, replay, trace_track);
 }
 
 // One Fig 7(b) cell trial: tpcc-like trace at time-scale `scale`.

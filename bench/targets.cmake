@@ -6,7 +6,8 @@ function(mstk_bench name)
   add_executable(${name} bench/${name}.cc)
   target_link_libraries(${name} PRIVATE
     mstk_sim mstk_core mstk_mems mstk_disk mstk_sched mstk_workload
-    mstk_layout mstk_fault mstk_power mstk_array mstk_cache mstk_fs)
+    mstk_layout mstk_fault mstk_power mstk_array mstk_cache mstk_fs
+    mstk_traceio)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
@@ -16,7 +17,7 @@ function(mstk_gbench name)
   target_link_libraries(${name} PRIVATE
     mstk_sim mstk_core mstk_mems mstk_disk mstk_sched mstk_workload
     mstk_layout mstk_fault mstk_power mstk_array mstk_cache mstk_fs
-    benchmark::benchmark)
+    mstk_traceio benchmark::benchmark)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
@@ -51,4 +52,5 @@ mstk_bench(bus_interface)
 mstk_bench(background_rebuild)
 mstk_bench(array_rebuild)
 mstk_bench(events_per_sec)
+mstk_bench(trace_replay)
 mstk_gbench(microbench_model)

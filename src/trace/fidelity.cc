@@ -1,0 +1,136 @@
+#include "src/trace/fidelity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/stats.h"
+#include "src/sim/units.h"
+
+namespace mstk {
+namespace trace {
+namespace {
+
+// Bin 0 holds exact zeros; positive samples land in bin floor(log2(v)) + 1,
+// clamped to the top bin. Log bins keep both the sub-millisecond gap
+// structure and the heavy tails visible in 40 bins.
+int BinOf(double v) {
+  if (v <= 0.0) {
+    return 0;
+  }
+  const int bin = static_cast<int>(std::floor(std::log2(v))) + 1;
+  return std::min(std::max(bin, 1), kFidelityBins - 1);
+}
+
+MarginalSummary Summarize(const std::vector<double>& samples) {
+  MarginalSummary summary;
+  summary.histogram.assign(kFidelityBins, 0.0);
+  summary.samples = static_cast<int64_t>(samples.size());
+  if (samples.empty()) {
+    return summary;
+  }
+  SummaryStats stats;
+  for (const double v : samples) {
+    stats.Add(v);
+    summary.histogram[static_cast<size_t>(BinOf(v))] += 1.0;
+  }
+  for (double& mass : summary.histogram) {
+    mass /= static_cast<double>(samples.size());
+  }
+  summary.mean = stats.mean();
+  summary.scv = stats.SquaredCoefficientOfVariation();
+  return summary;
+}
+
+MarginalComparison Compare(const std::string& name, const std::vector<double>& lhs,
+                           const std::vector<double>& rhs) {
+  MarginalComparison cmp;
+  cmp.name = name;
+  cmp.lhs = Summarize(lhs);
+  cmp.rhs = Summarize(rhs);
+  double l1 = 0.0;
+  for (int b = 0; b < kFidelityBins; ++b) {
+    l1 += std::fabs(cmp.lhs.histogram[static_cast<size_t>(b)] -
+                    cmp.rhs.histogram[static_cast<size_t>(b)]);
+  }
+  cmp.distance = 0.5 * l1;  // total variation
+  cmp.differs = cmp.distance > kDiffersThreshold;
+  return cmp;
+}
+
+struct Marginals {
+  std::vector<double> gaps_us;
+  std::vector<double> sizes_blocks;
+  std::vector<double> jumps_blocks;
+};
+
+Marginals ExtractMarginals(const std::vector<Request>& requests) {
+  Marginals m;
+  m.sizes_blocks.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    m.sizes_blocks.push_back(static_cast<double>(requests[i].block_count));
+    if (i > 0) {
+      m.gaps_us.push_back((requests[i].arrival_ms - requests[i - 1].arrival_ms) * kUsPerMs);
+      const int64_t prev_end = requests[i - 1].last_lbn() + 1;
+      m.jumps_blocks.push_back(static_cast<double>(std::llabs(requests[i].lbn - prev_end)));
+    }
+  }
+  return m;
+}
+
+void AppendSummary(JsonWriter& json, const char* key, const MarginalSummary& summary) {
+  json.Key(key);
+  json.BeginObject();
+  json.KV("mean", summary.mean);
+  json.KV("scv", summary.scv);
+  json.KV("samples", summary.samples);
+  json.Key("histogram");
+  json.BeginArray();
+  for (const double mass : summary.histogram) {
+    json.Double(mass);
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+void AppendComparison(JsonWriter& json, const MarginalComparison& cmp) {
+  json.BeginObject();
+  json.KV("name", cmp.name);
+  json.KV("distance", cmp.distance);
+  json.KV("differs", cmp.differs);
+  AppendSummary(json, "lhs", cmp.lhs);
+  AppendSummary(json, "rhs", cmp.rhs);
+  json.EndObject();
+}
+
+}  // namespace
+
+void FidelityReport::AppendJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.KV("lhs", lhs_label);
+  json.KV("rhs", rhs_label);
+  json.KV("differs_threshold", kDiffersThreshold);
+  json.KV("any_differs", AnyDiffers());
+  json.Key("marginals");
+  json.BeginArray();
+  AppendComparison(json, arrival_interval);
+  AppendComparison(json, request_size);
+  AppendComparison(json, spatial_locality);
+  json.EndArray();
+  json.EndObject();
+}
+
+FidelityReport CompareStreams(const std::string& lhs_label, const std::vector<Request>& lhs,
+                              const std::string& rhs_label, const std::vector<Request>& rhs) {
+  FidelityReport report;
+  report.lhs_label = lhs_label;
+  report.rhs_label = rhs_label;
+  const Marginals ml = ExtractMarginals(lhs);
+  const Marginals mr = ExtractMarginals(rhs);
+  report.arrival_interval = Compare("arrival_interval_us", ml.gaps_us, mr.gaps_us);
+  report.request_size = Compare("request_size_blocks", ml.sizes_blocks, mr.sizes_blocks);
+  report.spatial_locality = Compare("spatial_locality_blocks", ml.jumps_blocks, mr.jumps_blocks);
+  return report;
+}
+
+}  // namespace trace
+}  // namespace mstk

@@ -1,0 +1,74 @@
+// Fidelity reporter: quantifies how far a synthetic generator is from a
+// replayed trace on the marginals that dominate observed latency
+// (Boukhobza & Timsit's critique of synthetic stand-ins): the
+// arrival-interval distribution, the request-size distribution, and the
+// spatial-locality (inter-request jump) distribution.
+//
+// Each marginal is histogrammed into fixed logarithmic bins and the two
+// streams are compared with total-variation distance (0 = identical bin
+// masses, 1 = disjoint). A marginal "differs" past kDiffersThreshold — a
+// deliberately coarse bar: the reporter's job is to catch a generator whose
+// shape is wrong, not to demand bin-exact agreement.
+//
+// AppendJson emits stable keys only (no wall-clock, no machine state), so
+// reports are byte-identical across runs and diffable in CI artifacts.
+#ifndef MSTK_SRC_TRACE_FIDELITY_H_
+#define MSTK_SRC_TRACE_FIDELITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/request.h"
+#include "src/sim/json_writer.h"
+
+namespace mstk {
+namespace trace {
+
+// Total-variation distance above which a marginal counts as differing.
+inline constexpr double kDiffersThreshold = 0.10;
+
+// Log-2 bin count shared by the three marginals (bin 0 holds zero-valued
+// samples: back-to-back arrivals, sequential jumps).
+inline constexpr int kFidelityBins = 40;
+
+// Per-stream summary of one marginal.
+struct MarginalSummary {
+  double mean = 0.0;
+  double scv = 0.0;  // squared coefficient of variation
+  int64_t samples = 0;
+  std::vector<double> histogram;  // kFidelityBins normalized bin masses
+};
+
+struct MarginalComparison {
+  std::string name;
+  double distance = 0.0;  // total variation in [0, 1]
+  bool differs = false;
+  MarginalSummary lhs;
+  MarginalSummary rhs;
+};
+
+struct FidelityReport {
+  // "replay" and "synthetic" by convention; any two streams compare.
+  std::string lhs_label;
+  std::string rhs_label;
+  MarginalComparison arrival_interval;  // interarrival gaps, microseconds
+  MarginalComparison request_size;      // request lengths, blocks
+  MarginalComparison spatial_locality;  // |start - previous end|, blocks
+
+  bool AnyDiffers() const {
+    return arrival_interval.differs || request_size.differs || spatial_locality.differs;
+  }
+
+  // Stable-key JSON: {"fidelity":{"lhs":..,"rhs":..,"marginals":[...]}}.
+  void AppendJson(JsonWriter& json) const;
+};
+
+// Compares two arrival-ordered request streams marginal by marginal.
+FidelityReport CompareStreams(const std::string& lhs_label, const std::vector<Request>& lhs,
+                              const std::string& rhs_label, const std::vector<Request>& rhs);
+
+}  // namespace trace
+}  // namespace mstk
+
+#endif  // MSTK_SRC_TRACE_FIDELITY_H_

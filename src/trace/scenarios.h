@@ -1,0 +1,67 @@
+// The scenario zoo: deterministic generators for the checked-in trace
+// library under traces/.
+//
+// Each scenario produces a workload shape the synthetic cello/tpcc stand-ins
+// do not cover, written in the v1 trace format so every experiment that
+// accepts a trace file can replay it:
+//
+//   media_server  N concurrent streaming clients, each reading large
+//                 extents strictly sequentially at a steady per-stream
+//                 cadence — near-zero burstiness, huge sequential runs.
+//   oltp_burst    tpcc-shaped page traffic (random 8 KB reads/writes over a
+//                 1 GB database + a circular log) under ON/OFF bursty
+//                 arrivals — same size/locality regime as tpcc, very
+//                 different arrival-interval marginal. The fidelity gate
+//                 uses this pair to prove the reporter detects real
+//                 distributional gaps.
+//   diurnal_web   a compressed day of web traffic: sinusoidal arrival rate
+//                 (peak/trough), Zipf-hot small reads with an occasional
+//                 large asset fetch.
+//   backup_scan   a full-device sequential backup read marching over the
+//                 address space while a trickle of random foreground I/O
+//                 competes with it.
+//
+// Generation is a pure function of (name, config): the same inputs yield
+// byte-identical traces on any platform, which is what lets CI regenerate
+// the library and `cmp` it against the checked-in files.
+#ifndef MSTK_SRC_TRACE_SCENARIOS_H_
+#define MSTK_SRC_TRACE_SCENARIOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/format.h"
+
+namespace mstk {
+namespace trace {
+
+struct ScenarioConfig {
+  // Records to generate. The checked-in library uses the default.
+  int64_t request_count = 4000;
+  // Seed for the scenario's internal Rng. The checked-in library uses 1;
+  // sweep trials derive per-trial seeds so trials vary while staying
+  // deterministic.
+  uint64_t seed = 1;
+};
+
+// The library, in canonical order.
+const std::vector<std::string>& ScenarioNames();
+
+bool IsScenarioName(const std::string& name);
+
+// Logical address-space footprint the scenario is generated over, in blocks.
+// Replays remap this onto the target device (RemapToCapacity).
+int64_t ScenarioFootprintBlocks(const std::string& name);
+
+// Generates the scenario. Check-fails on an unknown name — use
+// IsScenarioName for user input.
+ParsedTrace GenerateScenario(const std::string& name, const ScenarioConfig& config);
+
+// Canonical on-disk bytes of the scenario (SerializeTrace of the records).
+std::string ScenarioTraceBytes(const std::string& name, const ScenarioConfig& config);
+
+}  // namespace trace
+}  // namespace mstk
+
+#endif  // MSTK_SRC_TRACE_SCENARIOS_H_

@@ -1,0 +1,13 @@
+// C1 fixture: a registry row marked SweepCi::kGated whose name never
+// appears in .github/workflows/ci.yml. The "smoke" row is wired (CI runs
+// it), so only "zzz_unwired" should fire; kLocal rows are exempt.
+enum class SweepCi { kGated, kLocal };
+struct SweepInfo {
+  const char* name;
+  SweepCi ci;
+};
+constexpr SweepInfo kSweeps[] = {
+    {"smoke", SweepCi::kGated},
+    {"zzz_unwired", SweepCi::kGated},
+    {"zzz_local_only", SweepCi::kLocal},
+};

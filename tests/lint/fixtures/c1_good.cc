@@ -1,0 +1,12 @@
+// C1 fixture (clean): every SweepCi::kGated row names a sweep that CI
+// actually runs; local-only rows may be absent from ci.yml.
+enum class SweepCi { kGated, kLocal };
+struct SweepInfo {
+  const char* name;
+  SweepCi ci;
+};
+constexpr SweepInfo kSweeps[] = {
+    {"smoke", SweepCi::kGated},
+    {"faults", SweepCi::kGated},
+    {"zzz_local_only", SweepCi::kLocal},
+};

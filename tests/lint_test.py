@@ -46,7 +46,7 @@ def findings_of(stdout, rule):
 def test_list_rules():
     rc, out, _ = run("--list-rules")
     check("list-rules exits 0", rc == 0)
-    for rid in ("D1", "D2", "U1", "U2", "N1"):
+    for rid in ("D1", "D2", "U1", "U2", "N1", "C1"):
         check("list-rules mentions %s" % rid, rid in out)
 
 
@@ -130,6 +130,7 @@ def main():
     test_rule("U1", "u1_bad.h", ["u1_good.h"], expect_bad=4)
     test_rule("U2", "u2_bad.cc", ["u2_good.cc"], expect_bad=3)
     test_rule("N1", "n1_bad.h", ["n1_good.h"], expect_bad=5)
+    test_rule("C1", "c1_bad.cc", ["c1_good.cc"], expect_bad=1)
     test_suppression()
     test_json_report()
     test_fix_roundtrip()

@@ -15,14 +15,11 @@
 // chrome://tracing / Perfetto), so the sweep JSON itself stays byte-identical
 // with and without tracing.
 //
-// Sweeps:
-//   smoke         2 schedulers x 2 rates, 2000 requests  (CI gate, ~seconds)
-//   sched_random  Fig 6 matrix: 4 schedulers x 10 arrival rates
-//   sched_cello   Fig 7(a) matrix: 4 schedulers x 7 trace time scales
-//   sched_tpcc    Fig 7(b) matrix: 4 schedulers x 7 trace time scales
-//   faults        §6 online fault injection & recovery matrix (CI gate)
-//   layouts       layout cube: every LayoutPolicy x 2 workloads x 2 schedulers
-//   arrays        managed-array lifecycle: width x rebuild policy x fault rate
+// Every sweep lives in the kSweeps registry below: one row per matrix, with
+// its CI class (kGated sweeps are run by .github/workflows/ci.yml — lint
+// rule C1 checks the wiring) and a one-line summary. --list and the usage
+// string are generated from the registry, so adding a sweep is one build
+// function plus one table row.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -52,144 +49,248 @@ struct SweepCell {
 constexpr SchedKind kAllScheds[] = {SchedKind::kFcfs, SchedKind::kSstfLbn,
                                     SchedKind::kClook, SchedKind::kSptf};
 
-std::vector<SweepCell> BuildSweep(const std::string& name) {
-  std::vector<SweepCell> cells;
-  auto add_rate_cells = [&cells](const std::vector<SchedKind>& scheds,
-                                 const std::vector<double>& rates, int64_t count) {
-    for (size_t r = 0; r < rates.size(); ++r) {
-      for (SchedKind sched : scheds) {
-        const double rate = rates[r];
-        cells.push_back({"rate" + Fmt("%.0f", rate) + "/" + SchedKindName(sched),
-                         static_cast<int64_t>(r),
-                         [sched, rate, count](uint64_t seed, TraceTrack trace) {
-                           return MetricsFromExperiment(
-                               RunRandomSchedTrial(sched, rate, count, seed, trace));
-                         }});
-      }
-    }
-  };
-  if (name == "smoke") {
-    add_rate_cells({SchedKind::kFcfs, SchedKind::kSptf}, {600, 1200}, 2000);
-  } else if (name == "sched_random") {
-    add_rate_cells(std::vector<SchedKind>(std::begin(kAllScheds), std::end(kAllScheds)),
-                   {200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000}, 10000);
-  } else if (name == "faults") {
-    // §6 recovery matrix: each cell stresses one leg of the fault path.
-    // Distinct seed offsets — the cells model different failure regimes, so
-    // sharing request streams buys no pairing.
-    auto add_fault_cell = [&cells](const std::string& label, int64_t offset,
-                                   SchedKind sched, double rate, int64_t count,
-                                   FaultRunConfig config, bool disk) {
-      cells.push_back({label, offset,
-                       [sched, rate, count, config, disk](uint64_t seed, TraceTrack trace) {
+void AddRateCells(std::vector<SweepCell>& cells, const std::vector<SchedKind>& scheds,
+                  const std::vector<double>& rates, int64_t count) {
+  for (size_t r = 0; r < rates.size(); ++r) {
+    for (SchedKind sched : scheds) {
+      const double rate = rates[r];
+      cells.push_back({"rate" + Fmt("%.0f", rate) + "/" + SchedKindName(sched),
+                       static_cast<int64_t>(r),
+                       [sched, rate, count](uint64_t seed, TraceTrack trace) {
                          return MetricsFromExperiment(
-                             disk ? RunFaultedDiskTrial(sched, rate, count, config, seed, trace)
-                                  : RunFaultedRandomTrial(sched, rate, count, config, seed,
-                                                          trace));
+                             RunRandomSchedTrial(sched, rate, count, seed, trace));
                        }});
-    };
-    FaultRunConfig transient;
-    transient.injector.transient_rate = 0.02;
-    transient.injector.lost_completion_rate = 0.002;
-    add_fault_cell("transient/SPTF", 100, SchedKind::kSptf, 600, 2000, transient, false);
-    FaultRunConfig remap;  // permanent failures absorbed by spare tips
-    remap.injector.permanent_rate = 0.005;
-    remap.injector.spares = 256;
-    add_fault_cell("remap_spare_tip/SPTF", 101, SchedKind::kSptf, 600, 2000, remap, false);
-    FaultRunConfig degraded;  // spares exhaust quickly -> degraded mode
-    degraded.injector.permanent_rate = 0.01;
-    degraded.injector.spares = 4;
-    add_fault_cell("degraded/SPTF", 102, SchedKind::kSptf, 600, 2000, degraded, false);
-    FaultRunConfig mixed;  // everything at once under FCFS at high load
-    mixed.injector.transient_rate = 0.02;
-    mixed.injector.permanent_rate = 0.002;
-    mixed.injector.lost_completion_rate = 0.002;
-    mixed.injector.spares = 32;
-    add_fault_cell("mixed/FCFS", 103, SchedKind::kFcfs, 1200, 2000, mixed, false);
-    FaultRunConfig disk_slip;  // disk-style slip remapping penalties
-    disk_slip.injector.permanent_rate = 0.005;
-    disk_slip.injector.spares = 128;
-    disk_slip.injector.remap_style = RemapStyle::kDiskSlip;
-    add_fault_cell("disk_slip/CLOOK", 104, SchedKind::kClook, 200, 800, disk_slip, true);
-  } else if (name == "layouts") {
-    // Layout cube (§5.3 x KAIST strategies): every registry policy against
-    // paired workload streams under a seek-blind and a position-aware
-    // scheduler. Cells sharing a workload share a seed offset, so every
-    // (policy, scheduler) pair replays the identical logical stream and the
-    // matrix isolates the placement effect.
-    const struct {
-      const char* label;
-      bool cello;
-      int64_t offset;
-    } kWorkloads[] = {{"bipartite", false, 200}, {"cello", true, 201}};
-    for (const auto& wl : kWorkloads) {
-      for (const LayoutPolicy* policy : AllLayoutPolicies()) {
-        for (SchedKind sched : {SchedKind::kFcfs, SchedKind::kSptf}) {
-          cells.push_back(
-              {std::string(policy->name()) + "/" + wl.label + "/" + SchedKindName(sched),
-               wl.offset,
-               [policy, cello = wl.cello, sched](uint64_t seed, TraceTrack trace) {
-                 return MetricsFromExperiment(
-                     RunLayoutSchedTrial(*policy, cello, sched, 4000, seed, trace));
-               }});
-        }
-      }
     }
-  } else if (name == "arrays") {
-    // Managed-array lifecycle matrix: stripe width x rebuild policy x member
-    // fault rate, 16+ devices per array. Every cell schedules a device-0
-    // failure early in the run, so the degraded -> rebuilding -> resync
-    // cycle (and its rebuild I/O, counted apart from foreground) is part of
-    // every measured trial; the fault-rate axis layers per-member
-    // transient/permanent injection on top. Cells at one width and fault
-    // rate share a seed offset, so the two rebuild policies replay the
-    // identical foreground stream.
-    for (const int width : {16, 20}) {
-      for (const double fault_rate : {0.0, 0.004}) {
-        const int64_t offset = 300 + width + (fault_rate > 0.0 ? 1 : 0);
-        for (const RebuildPolicy policy : {RebuildPolicy::kIdle, RebuildPolicy::kGreedy}) {
-          cells.push_back(
-              {"w" + std::to_string(width) + "/" + RebuildPolicyName(policy) + "/fault" +
-                   Fmt("%.3f", fault_rate),
-               offset, [width, policy, fault_rate](uint64_t seed, TraceTrack) {
-                 ArrayRunConfig config;
-                 config.manager.raid = RaidConfig{RaidLevel::kRaid5, 64};
-                 config.manager.active_members = width;
-                 config.manager.member_extent_blocks = 4096;
-                 config.manager.rebuild_policy = policy;
-                 config.manager.rebuild_chunk_blocks = 512;
-                 config.spares = 2;
-                 config.workload.arrival_rate_per_s = 1500.0;
-                 config.workload.request_count = 400;
-                 config.fail_device = 0;
-                 config.fail_at_ms = 5.0;
-                 config.transient_rate = fault_rate > 0.0 ? 0.01 : 0.0;
-                 config.permanent_rate = fault_rate;
-                 config.member_spares = 8;
-                 return RunArrayRebuildTrial(config, seed);
-               }});
-        }
-      }
-    }
-  } else if (name == "sched_cello" || name == "sched_tpcc") {
-    const bool cello = name == "sched_cello";
-    const std::vector<double> scales = cello
-                                           ? std::vector<double>{1, 2, 4, 8, 12, 16, 20}
-                                           : std::vector<double>{1, 2, 4, 6, 8, 10, 12};
-    for (const double scale : scales) {
-      for (SchedKind sched : kAllScheds) {
-        cells.push_back({std::string(cello ? "cello" : "tpcc") + "_scale" +
-                             Fmt("%.0f", scale) + "/" + SchedKindName(sched),
-                         0,  // same base trace at every scale, as in the paper
-                         [cello, sched, scale](uint64_t seed, TraceTrack trace) {
-                           return MetricsFromExperiment(
-                               cello ? RunCelloSchedTrial(sched, scale, 20000, seed, trace)
-                                     : RunTpccSchedTrial(sched, scale, 20000, seed, trace));
-                         }});
+  }
+}
+
+std::vector<SweepCell> BuildSmoke() {
+  std::vector<SweepCell> cells;
+  AddRateCells(cells, {SchedKind::kFcfs, SchedKind::kSptf}, {600, 1200}, 2000);
+  return cells;
+}
+
+std::vector<SweepCell> BuildSchedRandom() {
+  std::vector<SweepCell> cells;
+  AddRateCells(cells, std::vector<SchedKind>(std::begin(kAllScheds), std::end(kAllScheds)),
+               {200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000}, 10000);
+  return cells;
+}
+
+std::vector<SweepCell> BuildFaults() {
+  // §6 recovery matrix: each cell stresses one leg of the fault path.
+  // Distinct seed offsets — the cells model different failure regimes, so
+  // sharing request streams buys no pairing.
+  std::vector<SweepCell> cells;
+  auto add_fault_cell = [&cells](const std::string& label, int64_t offset, SchedKind sched,
+                                 double rate, int64_t count, FaultRunConfig config, bool disk) {
+    cells.push_back({label, offset,
+                     [sched, rate, count, config, disk](uint64_t seed, TraceTrack trace) {
+                       return MetricsFromExperiment(
+                           disk ? RunFaultedDiskTrial(sched, rate, count, config, seed, trace)
+                                : RunFaultedRandomTrial(sched, rate, count, config, seed,
+                                                        trace));
+                     }});
+  };
+  FaultRunConfig transient;
+  transient.injector.transient_rate = 0.02;
+  transient.injector.lost_completion_rate = 0.002;
+  add_fault_cell("transient/SPTF", 100, SchedKind::kSptf, 600, 2000, transient, false);
+  FaultRunConfig remap;  // permanent failures absorbed by spare tips
+  remap.injector.permanent_rate = 0.005;
+  remap.injector.spares = 256;
+  add_fault_cell("remap_spare_tip/SPTF", 101, SchedKind::kSptf, 600, 2000, remap, false);
+  FaultRunConfig degraded;  // spares exhaust quickly -> degraded mode
+  degraded.injector.permanent_rate = 0.01;
+  degraded.injector.spares = 4;
+  add_fault_cell("degraded/SPTF", 102, SchedKind::kSptf, 600, 2000, degraded, false);
+  FaultRunConfig mixed;  // everything at once under FCFS at high load
+  mixed.injector.transient_rate = 0.02;
+  mixed.injector.permanent_rate = 0.002;
+  mixed.injector.lost_completion_rate = 0.002;
+  mixed.injector.spares = 32;
+  add_fault_cell("mixed/FCFS", 103, SchedKind::kFcfs, 1200, 2000, mixed, false);
+  FaultRunConfig disk_slip;  // disk-style slip remapping penalties
+  disk_slip.injector.permanent_rate = 0.005;
+  disk_slip.injector.spares = 128;
+  disk_slip.injector.remap_style = RemapStyle::kDiskSlip;
+  add_fault_cell("disk_slip/CLOOK", 104, SchedKind::kClook, 200, 800, disk_slip, true);
+  return cells;
+}
+
+std::vector<SweepCell> BuildLayouts() {
+  // Layout cube (§5.3 x KAIST strategies): every registry policy against
+  // paired workload streams under a seek-blind and a position-aware
+  // scheduler. Cells sharing a workload share a seed offset, so every
+  // (policy, scheduler) pair replays the identical logical stream and the
+  // matrix isolates the placement effect.
+  std::vector<SweepCell> cells;
+  const struct {
+    const char* label;
+    bool cello;
+    int64_t offset;
+  } kWorkloads[] = {{"bipartite", false, 200}, {"cello", true, 201}};
+  for (const auto& wl : kWorkloads) {
+    for (const LayoutPolicy* policy : AllLayoutPolicies()) {
+      for (SchedKind sched : {SchedKind::kFcfs, SchedKind::kSptf}) {
+        cells.push_back(
+            {std::string(policy->name()) + "/" + wl.label + "/" + SchedKindName(sched),
+             wl.offset,
+             [policy, cello = wl.cello, sched](uint64_t seed, TraceTrack trace) {
+               return MetricsFromExperiment(
+                   RunLayoutSchedTrial(*policy, cello, sched, 4000, seed, trace));
+             }});
       }
     }
   }
   return cells;
+}
+
+std::vector<SweepCell> BuildArrays() {
+  // Managed-array lifecycle matrix: stripe width x rebuild policy x member
+  // fault rate, 16+ devices per array. Every cell schedules a device-0
+  // failure early in the run, so the degraded -> rebuilding -> resync
+  // cycle (and its rebuild I/O, counted apart from foreground) is part of
+  // every measured trial; the fault-rate axis layers per-member
+  // transient/permanent injection on top. Cells at one width and fault
+  // rate share a seed offset, so the two rebuild policies replay the
+  // identical foreground stream.
+  std::vector<SweepCell> cells;
+  for (const int width : {16, 20}) {
+    for (const double fault_rate : {0.0, 0.004}) {
+      const int64_t offset = 300 + width + (fault_rate > 0.0 ? 1 : 0);
+      for (const RebuildPolicy policy : {RebuildPolicy::kIdle, RebuildPolicy::kGreedy}) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "w%d/%s/fault%.3f", width, RebuildPolicyName(policy),
+                      fault_rate);
+        cells.push_back(
+            {label,
+             offset, [width, policy, fault_rate](uint64_t seed, TraceTrack) {
+               ArrayRunConfig config;
+               config.manager.raid = RaidConfig{RaidLevel::kRaid5, 64};
+               config.manager.active_members = width;
+               config.manager.member_extent_blocks = 4096;
+               config.manager.rebuild_policy = policy;
+               config.manager.rebuild_chunk_blocks = 512;
+               config.spares = 2;
+               config.workload.arrival_rate_per_s = 1500.0;
+               config.workload.request_count = 400;
+               config.fail_device = 0;
+               config.fail_at_ms = 5.0;
+               config.transient_rate = fault_rate > 0.0 ? 0.01 : 0.0;
+               config.permanent_rate = fault_rate;
+               config.member_spares = 8;
+               return RunArrayRebuildTrial(config, seed);
+             }});
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<SweepCell> BuildSchedTrace(bool cello) {
+  std::vector<SweepCell> cells;
+  const std::vector<double> scales = cello ? std::vector<double>{1, 2, 4, 8, 12, 16, 20}
+                                           : std::vector<double>{1, 2, 4, 6, 8, 10, 12};
+  for (const double scale : scales) {
+    for (SchedKind sched : kAllScheds) {
+      cells.push_back({std::string(cello ? "cello" : "tpcc") + "_scale" + Fmt("%.0f", scale) +
+                           "/" + SchedKindName(sched),
+                       0,  // same base trace at every scale, as in the paper
+                       [cello, sched, scale](uint64_t seed, TraceTrack trace) {
+                         return MetricsFromExperiment(
+                             cello ? RunCelloSchedTrial(sched, scale, 20000, seed, trace)
+                                   : RunTpccSchedTrial(sched, scale, 20000, seed, trace));
+                       }});
+    }
+  }
+  return cells;
+}
+
+std::vector<SweepCell> BuildSchedCello() { return BuildSchedTrace(true); }
+
+std::vector<SweepCell> BuildSchedTpcc() { return BuildSchedTrace(false); }
+
+std::vector<SweepCell> BuildTraces() {
+  // Scenario-zoo replay matrix: every scenario x {seek-blind, position-
+  // aware} scheduler x {linear, 2-D tiled} layout, replayed open-loop
+  // through the Driver path. Cells of one scenario share a seed offset, so
+  // the scheduler and layout axes replay the identical record stream. Two
+  // extra cells replay oltp_burst under closed and hybrid arrival control —
+  // the §4.3 feedback axis — against the same stream as its open cells.
+  std::vector<SweepCell> cells;
+  const LayoutPolicy* const kLayouts[] = {FindLayoutPolicy("simple"), FindLayoutPolicy("tiled")};
+  const auto& names = trace::ScenarioNames();
+  for (size_t s = 0; s < names.size(); ++s) {
+    const std::string scenario = names[s];
+    const int64_t offset = 400 + static_cast<int64_t>(s);
+    for (const LayoutPolicy* layout : kLayouts) {
+      for (SchedKind sched : {SchedKind::kFcfs, SchedKind::kSptf}) {
+        cells.push_back({scenario + "/" + layout->name() + "/" + SchedKindName(sched), offset,
+                         [scenario, layout, sched](uint64_t seed, TraceTrack trace) {
+                           ScenarioReplaySpec spec;
+                           spec.scenario = scenario;
+                           spec.layout = layout;
+                           spec.sched = sched;
+                           return MetricsFromExperiment(
+                               RunScenarioReplayTrial(spec, seed, trace));
+                         }});
+      }
+    }
+  }
+  for (const trace::ArrivalMode mode :
+       {trace::ArrivalMode::kClosed, trace::ArrivalMode::kHybrid}) {
+    cells.push_back({std::string("oltp_burst/") + trace::ArrivalModeName(mode) + "/SPTF", 401,
+                     [mode](uint64_t seed, TraceTrack trace) {
+                       ScenarioReplaySpec spec;
+                       spec.scenario = "oltp_burst";
+                       spec.sched = SchedKind::kSptf;
+                       spec.mode = mode;
+                       return MetricsFromExperiment(RunScenarioReplayTrial(spec, seed, trace));
+                     }});
+  }
+  return cells;
+}
+
+// Whether a sweep is wired into CI. Lint rule C1 enforces that the name of
+// every kGated row below appears in .github/workflows/ci.yml, so a sweep
+// can't silently drop out of the gate set when the workflow is edited.
+enum class SweepCi { kGated, kLocal };
+
+struct SweepInfo {
+  const char* name;
+  SweepCi ci;
+  const char* summary;
+  std::vector<SweepCell> (*build)();
+};
+
+constexpr SweepInfo kSweeps[] = {
+    {"smoke", SweepCi::kGated, "2 schedulers x 2 rates, 2000 requests (CI gate, ~seconds)",
+     BuildSmoke},
+    {"sched_random", SweepCi::kLocal, "Fig 6 matrix: 4 schedulers x 10 arrival rates",
+     BuildSchedRandom},
+    {"sched_cello", SweepCi::kLocal, "Fig 7(a) matrix: 4 schedulers x 7 trace time scales",
+     BuildSchedCello},
+    {"sched_tpcc", SweepCi::kLocal, "Fig 7(b) matrix: 4 schedulers x 7 trace time scales",
+     BuildSchedTpcc},
+    {"faults", SweepCi::kGated, "§6 online fault injection & recovery matrix (CI gate)",
+     BuildFaults},
+    {"layouts", SweepCi::kGated,
+     "layout cube: every LayoutPolicy x 2 workloads x 2 schedulers (CI gate)", BuildLayouts},
+    {"arrays", SweepCi::kGated,
+     "managed-array lifecycle: width x rebuild policy x fault rate (CI gate)", BuildArrays},
+    {"traces", SweepCi::kGated,
+     "scenario zoo replay: 4 scenarios x 2 schedulers x 2 layouts + arrival modes (CI gate)",
+     BuildTraces},
+};
+
+const SweepInfo* FindSweep(const std::string& name) {
+  for (const SweepInfo& info : kSweeps) {
+    if (name == info.name) {
+      return &info;
+    }
+  }
+  return nullptr;
 }
 
 std::string RunSweepJson(const std::string& sweep, const std::vector<SweepCell>& cells,
@@ -220,13 +321,18 @@ std::string RunSweepJson(const std::string& sweep, const std::vector<SweepCell>&
 }
 
 int Usage(const char* argv0) {
+  std::string sweeps;
+  for (const SweepInfo& info : kSweeps) {
+    if (!sweeps.empty()) sweeps += ' ';
+    sweeps += info.name;
+  }
   std::fprintf(stderr,
                "usage: %s [SWEEP] [--trials N] [--jobs N] [--seed S] [--json PATH]\n"
                "          [--trace PATH] [--queue-backend calendar|heap]\n"
                "       %s --list\n"
                "       %s [SWEEP] --selfcheck   (compare --jobs 1 vs parallel run)\n"
-               "sweeps: smoke sched_random sched_cello sched_tpcc faults layouts arrays\n",
-               argv0, argv0, argv0);
+               "sweeps: %s\n",
+               argv0, argv0, argv0, sweeps.c_str());
   return 2;
 }
 
@@ -262,7 +368,9 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(arg, "--list") == 0) {
-      std::printf("smoke\nsched_random\nsched_cello\nsched_tpcc\nfaults\nlayouts\narrays\n");
+      for (const SweepInfo& info : kSweeps) {
+        std::printf("%s\n", info.name);
+      }
       return 0;
     } else if (std::strcmp(arg, "--trials") == 0) {
       trials = std::atoll(next());
@@ -295,11 +403,12 @@ int main(int argc, char** argv) {
   }
   if (trials < 1) trials = 1;
 
-  const std::vector<SweepCell> cells = BuildSweep(sweep);
-  if (cells.empty()) {
+  const SweepInfo* info = FindSweep(sweep);
+  if (info == nullptr) {
     std::fprintf(stderr, "unknown sweep: %s\n", sweep.c_str());
     return Usage(argv[0]);
   }
+  const std::vector<SweepCell> cells = info->build();
 
   if (selfcheck) {
     const int parallel = jobs > 0 ? jobs : ThreadPool::DefaultThreadCount();
