@@ -2,14 +2,22 @@
 # Runs mstk-lint over the tree (the blocking CI `lint` job).
 #
 # Usage:
-#   scripts/run_lint.sh [--json OUT.json]   lint src/tools/bench/examples
+#   scripts/run_lint.sh [--engine auto|ast|tokens] [--json OUT.json] [--timings]
 #   scripts/run_lint.sh --selftest          run the linter's fixture suite
 #
-# Exits non-zero on any finding (or any selftest failure). The linter picks
-# up build/compile_commands.json automatically when CMake has been configured
-# (CMAKE_EXPORT_COMPILE_COMMANDS is ON by default in this repo), which feeds
-# real include paths/flags to the AST engine where libclang is available; the
-# dependency-free token engine covers every rule otherwise.
+# Exit codes (mirrors tools/lint/mstk_lint.py):
+#   0  clean
+#   1  findings present
+#   2  usage error / selftest failure
+#   3  --engine=ast requested but the AST engine is unavailable (libclang
+#      bindings or the compile database are missing). CI treats 3 as a hard
+#      failure in the required AST pass; locally, the default --engine=auto
+#      falls back to the dependency-free token engine with a note instead.
+#
+# The linter picks up build/compile_commands.json automatically when CMake
+# has been configured (CMAKE_EXPORT_COMPILE_COMMANDS is ON by default in this
+# repo), which feeds real include paths/flags to the AST engine where
+# libclang is available; the token engine covers every rule otherwise.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -19,10 +27,27 @@ if [[ "${1:-}" == "--selftest" ]]; then
   exec python3 tests/lint_test.py
 fi
 
-JSON_ARGS=()
-if [[ "${1:-}" == "--json" ]]; then
-  JSON_ARGS=(--json "${2:?--json needs a path}")
-fi
+EXTRA_ARGS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --engine)
+      EXTRA_ARGS+=(--engine "${2:?--engine needs auto|ast|tokens}")
+      shift 2
+      ;;
+    --json)
+      EXTRA_ARGS+=(--json "${2:?--json needs a path}")
+      shift 2
+      ;;
+    --timings)
+      EXTRA_ARGS+=(--timings)
+      shift
+      ;;
+    *)
+      echo "run_lint.sh: unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
 
 # Best effort: export a compile database so AST rules see real flags. The
 # linter runs fine without one (token engine), so configure failures —
@@ -31,4 +56,4 @@ if [[ ! -f build/compile_commands.json ]]; then
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null 2>&1 || true
 fi
 
-exec python3 tools/lint/mstk_lint.py "${JSON_ARGS[@]}" src tools bench examples
+exec python3 tools/lint/mstk_lint.py "${EXTRA_ARGS[@]}" src tools bench examples

@@ -57,7 +57,7 @@ class DiskDevice : public StorageDevice {
   int32_t head_ = 0;
   double seek_error_rate_ = 0.0;
   uint64_t seek_error_seed_ = 0;
-  Rng seek_error_rng_{0};
+  Rng seek_error_rng_{seek_error_seed_};
 };
 
 }  // namespace mstk

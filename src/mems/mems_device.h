@@ -108,7 +108,7 @@ class MemsDevice : public StorageDevice {
   double row_pass_s_;   // s
   double seek_error_rate_ = 0.0;
   uint64_t seek_error_seed_ = 0;
-  Rng seek_error_rng_{0};
+  Rng seek_error_rng_{seek_error_seed_};
 };
 
 }  // namespace mstk

@@ -48,9 +48,9 @@ std::string TraceWriter::ToJson() const {
     json.KV("name", e.name);
     json.KV("pid", 1);
     json.KV("tid", e.tid);
-    json.KV("ts", e.start_ms * kUsPerMs);
+    json.KV("ts", MsToUs(e.start_ms));
     if (e.ph == 'X') {
-      json.KV("dur", e.dur_ms * kUsPerMs);
+      json.KV("dur", MsToUs(e.dur_ms));
       if (!e.color.empty()) {
         json.KV("cname", e.color);
       }

@@ -6,6 +6,8 @@
 #ifndef MSTK_SRC_SIM_UNITS_H_
 #define MSTK_SRC_SIM_UNITS_H_
 
+#include <cstdint>
+
 namespace mstk {
 
 // Simulation time, in milliseconds.
@@ -20,6 +22,12 @@ inline constexpr double kMetersPerNanometer = 1e-9;
 
 constexpr TimeMs SecondsToMs(double seconds) { return seconds * kMsPerSecond; }
 constexpr double MsToSeconds(TimeMs ms) { return ms * kSecondsPerMs; }
+
+// The only sanctioned crossings between trace-layer integer microseconds and
+// sim-layer TimeMs (lint rule T2). MsToUs rounds half-up so round-tripping a
+// trace record through TimeMs reproduces the original timestamp.
+constexpr TimeMs UsToMs(int64_t us) { return static_cast<double>(us) / kUsPerMs; }
+constexpr int64_t MsToUs(TimeMs ms) { return static_cast<int64_t>(ms * kUsPerMs + 0.5); }
 constexpr double UmToMeters(double um) { return um * kMetersPerMicrometer; }
 constexpr double NmToMeters(double nm) { return nm * kMetersPerNanometer; }
 

@@ -69,7 +69,8 @@ Marginals ExtractMarginals(const std::vector<Request>& requests) {
   for (size_t i = 0; i < requests.size(); ++i) {
     m.sizes_blocks.push_back(static_cast<double>(requests[i].block_count));
     if (i > 0) {
-      m.gaps_us.push_back((requests[i].arrival_ms - requests[i - 1].arrival_ms) * kUsPerMs);
+      m.gaps_us.push_back(static_cast<double>(
+          MsToUs(requests[i].arrival_ms - requests[i - 1].arrival_ms)));
       const int64_t prev_end = requests[i - 1].last_lbn() + 1;
       m.jumps_blocks.push_back(static_cast<double>(std::llabs(requests[i].lbn - prev_end)));
     }

@@ -216,7 +216,7 @@ std::vector<Request> ToRequests(const ParsedTrace& trace) {
     req.type = record.op;
     req.lbn = record.lba;
     req.block_count = record.blocks;
-    req.arrival_ms = static_cast<double>(record.timestamp_us) / kUsPerMs;
+    req.arrival_ms = UsToMs(record.timestamp_us);
     requests.push_back(req);
   }
   return requests;
@@ -228,7 +228,7 @@ std::vector<TraceRecord> FromRequests(const std::vector<Request>& requests, int3
   int64_t last_us = 0;
   for (const Request& req : requests) {
     TraceRecord record;
-    record.timestamp_us = static_cast<int64_t>(req.arrival_ms * kUsPerMs + 0.5);
+    record.timestamp_us = MsToUs(req.arrival_ms);
     // Guard against double rounding jitter undoing sort order by a tick.
     if (record.timestamp_us < last_us) {
       record.timestamp_us = last_us;

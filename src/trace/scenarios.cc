@@ -37,7 +37,7 @@ class ScenarioBuilder {
     int64_t last_us = 0;
     for (const Pending& p : pending_) {
       TraceRecord r = p.record;
-      r.timestamp_us = std::max(last_us, static_cast<int64_t>(p.arrival_ms * kUsPerMs + 0.5));
+      r.timestamp_us = std::max(last_us, MsToUs(p.arrival_ms));
       last_us = r.timestamp_us;
       records.push_back(r);
     }

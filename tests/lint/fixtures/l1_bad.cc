@@ -1,0 +1,65 @@
+// Fixture: every capture L1 must reject (the event outlives the frame in a
+// pooled queue node). Shapes 1 and 5 are the exact stack-capture bugs that
+// had to be repaired by hand in the PR-6 background-work rework.
+#include <string>
+#include <vector>
+
+struct Request {
+  long id = 0;
+};
+
+struct Sim {
+  void ScheduleAt(double t_ms, int cb);
+  void ScheduleAfter(double dt_ms, int cb);
+  void Run();
+};
+
+Request Make(int i);
+void Use(const Request& req);
+void Observe(double v);
+void Emit(const std::string& s);
+
+// 1. By-reference capture of a per-iteration local: `req` is destroyed at
+// the end of each loop iteration, long before virtual time reaches the event.
+void PerIterationRefCapture(Sim& sim) {
+  for (int i = 0; i < 4; ++i) {
+    Request req = Make(i);
+    sim.ScheduleAt(1.0, [&req] { Use(req); });
+  }
+  sim.Run();
+}
+
+// 2. Default by-reference capture in a function that returns before the
+// queue drains: every captured local dangles when the event fires.
+void DefaultRefCaptureNoDrain(Sim& sim) {
+  double deadline_payload = 5.0;
+  sim.ScheduleAt(deadline_payload, [&] { Observe(deadline_payload); });
+}
+
+// 3. Pointer into a vector the function keeps growing: push_back can
+// reallocate and the captured element pointer dangles.
+void VectorElementAlias(Sim& sim, std::vector<Request>& batch) {
+  for (int i = 0; i < 3; ++i) {
+    const Request* slot = &batch[i];
+    sim.ScheduleAt(2.0, [slot] { Use(*slot); });
+    batch.push_back(Make(i));
+  }
+  sim.Run();
+}
+
+// 4. Non-trivially-copyable wrapper by value: blows the InlineFunction
+// trivially-copyable requirement and the 16-byte inline budget.
+void ByValueStringCapture(Sim& sim) {
+  std::string label = "seek";
+  sim.ScheduleAt(3.0, [label] { Emit(label); });
+  sim.Run();
+}
+
+// 5. Init-capture aliasing a per-iteration range-for value (PR-6 shape: the
+// loop variable is a copy that dies each iteration, not a container element).
+void InitCaptureOfIterationLocal(Sim& sim, const std::vector<Request>& reqs) {
+  for (const Request req : reqs) {
+    sim.ScheduleAfter(0.5, [r = &req] { Use(*r); });
+  }
+  sim.Run();
+}

@@ -1,0 +1,61 @@
+// Fixture: capture idioms L1 must accept (all are used in the tree).
+#include <vector>
+
+struct Request {
+  long id = 0;
+};
+
+struct Sim {
+  void ScheduleAt(double t_ms, int cb);
+  void ScheduleAfter(double dt_ms, int cb);
+  void Run();
+};
+
+Request Make(int i);
+void Use(const Request& req);
+void Observe(long v);
+
+// `this` and member state outlive any queued event the object schedules.
+class Driver {
+ public:
+  void Arm() {
+    sim_.ScheduleAfter(1.0, [this] { Tick(); });
+  }
+  void Tick();
+
+ private:
+  Sim sim_;
+};
+
+// Run-to-completion: the function drains the queue before its locals die,
+// so by-reference captures of function locals are safe.
+void RunToCompletion(Sim& sim) {
+  double budget_ms = 10.0;
+  sim.ScheduleAt(0.0, [&budget_ms] { budget_ms -= 1.0; });
+  sim.Run();
+}
+
+// The range-for reference aliases a container element, not per-iteration
+// storage; the container outlives the run (the `&req` pointer idiom).
+void ElementAliasOverRangeForRef(Sim& sim, std::vector<Request>& reqs) {
+  for (const Request& req : reqs) {
+    const Request* arrival = &req;
+    sim.ScheduleAt(1.0, [arrival] { Use(*arrival); });
+  }
+  sim.Run();
+}
+
+// The queue is drained inside the same iteration the local lives in.
+void LoopLocalDrainedInIteration(Sim& sim) {
+  for (int i = 0; i < 2; ++i) {
+    Request req = Make(i);
+    sim.ScheduleAt(0.0, [&req] { Use(req); });
+    sim.Run();
+  }
+}
+
+// Trivially-copyable by-value captures fit the inline budget.
+void ScalarValueCapture(Sim& sim) {
+  long epoch = 7;
+  sim.ScheduleAfter(2.0, [epoch] { Observe(epoch); });
+}

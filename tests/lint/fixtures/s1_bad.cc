@@ -1,0 +1,39 @@
+// Fixture: every seeding shape S1 must reject.
+struct Rng {
+  Rng();
+  explicit Rng(unsigned long long seed);
+  double NextDouble();
+};
+
+struct Sim {
+  void ScheduleAt(double t_ms, int cb);
+};
+
+unsigned long long DeriveSubSeed();
+
+// 1. Literal seed pins the module to one stream regardless of the trial.
+void LiteralSeed() {
+  Rng rng(12345);
+  rng.NextDouble();
+}
+
+// 2. thread_local/static generators are shared across TrialRunner workers.
+void SharedAcrossWorkers() {
+  thread_local Rng tls_rng(DeriveSubSeed());
+  tls_rng.NextDouble();
+}
+
+// 3. Default construction hides a literal seed behind the default argument.
+void DefaultConstructedLocal() {
+  Rng fallback;
+  fallback.NextDouble();
+}
+
+// 4. Construction inside an event callback reseeds at a schedule-dependent
+// point in the run.
+void ReseedInCallback(Sim& sim) {
+  sim.ScheduleAt(1.0, [] {
+    Rng local(DeriveSubSeed());
+    local.NextDouble();
+  });
+}

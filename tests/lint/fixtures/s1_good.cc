@@ -1,0 +1,26 @@
+// Fixture: seeding shapes S1 must accept -- everything flows from a seed
+// parameter handed down the per-trial derivation path.
+struct Rng {
+  explicit Rng(unsigned long long seed);
+  double NextDouble();
+  unsigned long long NextU64();
+};
+
+// Class members declared bare are initialized by the constructor from the
+// seed the caller derived; nothing to flag at the declaration.
+class Module {
+ public:
+  explicit Module(unsigned long long seed) : rng_(seed) {}
+  double Draw() { return rng_.NextDouble(); }
+
+ private:
+  Rng rng_;
+};
+
+// Function-local generators seeded from the per-trial seed (directly or via
+// a split) keep every stream a pure function of (base_seed, trial_index).
+double PerTrial(unsigned long long trial_seed) {
+  Rng rng(trial_seed);
+  Rng split(rng.NextU64());
+  return rng.NextDouble() + split.NextDouble();
+}

@@ -1,0 +1,16 @@
+// Fixture: raw unit-domain crossings T2 must reject. The first three are
+// auto-fixable (--fix inserts UsToMs/MsToUs); the raw scaling on the last
+// line has no unambiguous direction and stays for a human.
+#include <cstdint>
+
+constexpr double kUsPerMs = 1e3;
+double UsToMs(int64_t us);
+int64_t MsToUs(double ms);
+
+void Crossings(int64_t timestamp_us, double arrival_ms) {
+  arrival_ms = static_cast<double>(timestamp_us) / kUsPerMs;
+  timestamp_us = static_cast<int64_t>(arrival_ms * kUsPerMs + 0.5);
+  arrival_ms = timestamp_us;
+  double scaled_ms = arrival_ms * kUsPerMs;
+  (void)scaled_ms;
+}

@@ -1,0 +1,12 @@
+// Fixture: sanctioned unit crossings T2 must accept (named converters only).
+#include <cstdint>
+
+double UsToMs(int64_t us);
+int64_t MsToUs(double ms);
+
+void Sanctioned(int64_t timestamp_us, double arrival_ms) {
+  arrival_ms = UsToMs(timestamp_us);
+  timestamp_us = MsToUs(arrival_ms);
+  double gap_ms = arrival_ms - UsToMs(timestamp_us);
+  (void)gap_ms;
+}

@@ -1,0 +1,7 @@
+// Fixture: stale suppressions W1 must reject (run with --rules D1,W1).
+int Clean() {
+  int x = 1 + 2;  // mstk-lint: allow(D1)
+  // mstk-lint: allow(Q9)
+  int y = x * 2;
+  return y;
+}

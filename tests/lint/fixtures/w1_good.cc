@@ -1,0 +1,10 @@
+// Fixture: suppressions that absorb a real finding W1 must accept
+// (run with --rules D1,W1).
+#include <cstdlib>
+
+int Used() {
+  int x = rand();  // mstk-lint: allow(D1)
+  // mstk-lint: allow(D1)
+  int y = rand();
+  return x + y;
+}

@@ -1,845 +1,17 @@
 #!/usr/bin/env python3
-"""mstk-lint: project-invariant static analysis for the mstk simulator.
+"""mstk-lint: project-specific static analysis for the MEMS storage simulator.
 
-The repo's core contract -- byte-identical trial JSON at any --jobs, exact
-phase-time tiling, seeded reproducibility -- is a *checked* property, not a
-convention. This pass encodes the invariants as lint rules and runs as a
-blocking CI gate next to clang-tidy and the sanitizer ladder.
-
-Rules
-  D1  no nondeterminism sources in src/ (std::random_device, rand(), wall
-      clocks, thread ids) outside src/sim/thread_pool
-  D2  no iteration over unordered containers in any translation unit that
-      reaches JSON / metrics / trace serialization (byte-stability)
-  U1  time-unit discipline: public API returns/params/fields holding
-      milliseconds must be TimeMs (src/sim/units.h), not raw double
-  U2  no ==/!= between floating-point time values
-  N1  [[nodiscard]] required on cost-returning estimate/service functions
-  C1  every sweep registered SweepCi::kGated in tools/mstk_sweep.cc must be
-      named in .github/workflows/ci.yml (a gated matrix CI never runs is a
-      silently dead determinism gate)
-
-Engines
-  ast     libclang (python `clang` bindings) driven by compile_commands.json;
-          typedef-aware signature checks for U1/N1
-  tokens  comment/string-stripping tokenizer + regex rules; no dependencies
-  auto    ast when the bindings import cleanly, tokens otherwise (default)
-
-Suppression: append `// mstk-lint: allow(RULE[, RULE...])` to the offending
-line, or place it alone on the line above, with a justification.
-
-Exit status: 0 clean, 1 findings, 2 usage/internal error.
+This file is the command-line entry point; the implementation lives in the
+mstklint/ package next to it (engine, rules, cache, baseline modules). Run
+`mstk_lint.py --list-rules` for the rule catalog, or see CONTRIBUTING.md.
 """
 
-import argparse
-import json
 import os
-import re
 import sys
 
-# --------------------------------------------------------------------------
-# Source model
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-
-def strip_comments_and_strings(text):
-    """Blanks out comments, string and char literals, preserving offsets.
-
-    Keeps newlines so byte offsets and line numbers stay valid. Replacing with
-    spaces (not deleting) means every regex match position maps 1:1 onto the
-    original file.
-    """
-    out = list(text)
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            for k in range(i, j):
-                out[k] = " "
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j == -1 else j
-            for k in range(i, j + 2):
-                if out[k] != "\n":
-                    out[k] = " "
-            i = j + 2
-        elif c == '"' or c == "'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                if text[j] == "\\":
-                    j += 1
-                j += 1
-            for k in range(i + 1, min(j, n)):
-                if out[k] != "\n":
-                    out[k] = " "
-            i = j + 1
-        else:
-            i = i + 1
-    return "".join(out)
-
-
-_ALLOW_RE = re.compile(r"mstk-lint:\s*allow\(([^)]*)\)")
-_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
-
-
-class SourceFile:
-    """One file: raw text, comment-stripped text, and derived facts."""
-
-    def __init__(self, path, rel, text):
-        self.path = path          # filesystem path
-        self.rel = rel            # root-relative, '/'-separated (report key)
-        self.text = text
-        self.clean = strip_comments_and_strings(text)
-        # Byte offset of the start of each line, for offset->line:col mapping.
-        self.line_starts = [0]
-        for m in re.finditer(r"\n", text):
-            self.line_starts.append(m.end())
-        self.includes = _INCLUDE_RE.findall(text)
-        self.suppressions = self._parse_suppressions()
-        self.unordered_idents = None  # filled lazily by rule D2
-
-    def _parse_suppressions(self):
-        """Maps 1-based line number -> set of rule ids allowed there."""
-        allowed = {}
-        for lineno, raw in enumerate(self.text.split("\n"), start=1):
-            m = _ALLOW_RE.search(raw)
-            if not m:
-                continue
-            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-            allowed.setdefault(lineno, set()).update(rules)
-            # A comment-only line covers the next line of code.
-            before = raw[: raw.find("//")] if "//" in raw else raw
-            if before.strip() == "":
-                allowed.setdefault(lineno + 1, set()).update(rules)
-        return allowed
-
-    def line_col(self, offset):
-        """1-based (line, col) for a byte offset."""
-        lo, hi = 0, len(self.line_starts) - 1
-        while lo < hi:
-            mid = (lo + hi + 1) // 2
-            if self.line_starts[mid] <= offset:
-                lo = mid
-            else:
-                hi = mid - 1
-        return lo + 1, offset - self.line_starts[lo] + 1
-
-    def suppressed(self, rule_id, lineno):
-        return rule_id in self.suppressions.get(lineno, set())
-
-
-class Finding:
-    def __init__(self, rule, sf, offset, message):
-        self.rule = rule
-        self.path = sf.rel
-        self.offset = offset
-        self.line, self.col = sf.line_col(offset)
-        self.message = message
-
-    def key(self):
-        return (self.path, self.line, self.col, self.rule)
-
-    def as_dict(self):
-        return {
-            "rule": self.rule,
-            "path": self.path,
-            "line": self.line,
-            "col": self.col,
-            "message": self.message,
-        }
-
-
-# --------------------------------------------------------------------------
-# Rule registry
-
-RULES = {}
-
-
-class Rule:
-    def __init__(self, rule_id, summary, check, scope):
-        self.id = rule_id
-        self.summary = summary
-        self.check = check    # fn(sf, ctx) -> iterable[Finding]
-        self.scope = scope    # fn(rel_path) -> bool; bypassed by --all-scopes
-
-
-def rule(rule_id, summary, scope):
-    def deco(fn):
-        RULES[rule_id] = Rule(rule_id, summary, fn, scope)
-        return fn
-    return deco
-
-
-def _in_src(rel):
-    return rel.startswith("src/")
-
-
-def _is_header(rel):
-    return rel.endswith(".h")
-
-
-# --------------------------------------------------------------------------
-# D1: nondeterminism sources
-
-_D1_PATTERNS = [
-    (re.compile(r"\bstd\s*::\s*random_device\b"),
-     "std::random_device is nondeterministic; seed mstk::Rng explicitly"),
-    (re.compile(r"(?<![\w:])s?rand\s*\("),
-     "rand()/srand() draw from hidden global state; use mstk::Rng"),
-    (re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
-     "wall/monotonic clocks leak host time into the simulation; use virtual "
-     "time (Simulator::now_ms)"),
-    (re.compile(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
-     "time() reads the host clock; results must not depend on when they run"),
-    (re.compile(r"\b(?:gettimeofday|clock_gettime|timespec_get)\b"),
-     "host clock syscalls are nondeterministic; use virtual time"),
-    (re.compile(r"(?<![\w:.])clock\s*\(\s*\)"),
-     "clock() reads host CPU time; use virtual time"),
-    (re.compile(r"\bthis_thread\s*::\s*get_id\b|\bpthread_self\b"),
-     "thread ids vary run-to-run; results must not depend on which worker "
-     "executes a trial"),
-]
-
-
-def _d1_scope(rel):
-    if not _in_src(rel):
-        return False
-    # The pool itself may touch thread identity to implement workers.
-    return not rel.startswith("src/sim/thread_pool")
-
-
-@rule("D1", "no nondeterminism sources in src/", _d1_scope)
-def check_d1(sf, ctx):
-    del ctx
-    for pat, msg in _D1_PATTERNS:
-        for m in pat.finditer(sf.clean):
-            yield Finding("D1", sf, m.start(), msg)
-
-
-# --------------------------------------------------------------------------
-# D2: unordered-container iteration on serialization-reaching TUs
-
-_D2_SINKS = (
-    "src/sim/json_writer.h",
-    "src/sim/trace_writer.h",
-    "src/sim/metrics_registry.h",
-    "src/core/metrics.h",
-)
-
-_UNORDERED_DECL_RE = re.compile(r"\b(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
-_UNORDERED_ALIAS_RE = re.compile(
-    r"\busing\s+([A-Za-z_]\w*)\s*=\s*(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
-# Declarator after a container type: skips ref/pointer markers, so both
-# `unordered_map<K,V> m;` and `const unordered_set<T>& live` bind the name.
-_IDENT_RE = re.compile(r"[\s*&]*(?:const\s+)?([A-Za-z_]\w*)")
-
-
-def _match_angle(text, open_pos):
-    """Returns the offset just past the '>' matching the '<' at open_pos."""
-    depth = 0
-    i = open_pos
-    while i < len(text):
-        c = text[i]
-        if c == "<":
-            depth += 1
-        elif c == ">":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-        i += 1
-    return len(text)
-
-
-def _unordered_idents(sf):
-    """Identifiers declared with an unordered container type in this file."""
-    if sf.unordered_idents is not None:
-        return sf.unordered_idents
-    idents = set()
-    aliases = set(m.group(1) for m in _UNORDERED_ALIAS_RE.finditer(sf.clean))
-    for m in _UNORDERED_DECL_RE.finditer(sf.clean):
-        end = _match_angle(sf.clean, m.end() - 1)
-        im = _IDENT_RE.match(sf.clean, end)
-        if im:
-            name = im.group(1)
-            if name not in ("const",):
-                idents.add(name)
-    for alias in aliases:
-        for m in re.finditer(r"\b%s\s+([A-Za-z_]\w*)\s*[;,={(]" % re.escape(alias), sf.clean):
-            idents.add(m.group(1))
-    sf.unordered_idents = idents
-    return idents
-
-
-def _find_matching_paren(text, open_pos):
-    depth = 0
-    i = open_pos
-    while i < len(text):
-        if text[i] == "(":
-            depth += 1
-        elif text[i] == ")":
-            depth -= 1
-            if depth == 0:
-                return i
-        i += 1
-    return len(text)
-
-
-@rule("D2", "no unordered-container iteration in serialization-reaching TUs",
-      lambda rel: True)
-def check_d2(sf, ctx):
-    if not ctx.reaches_serialization(sf):
-        return
-    # Identifiers visible to this TU: its own plus those of transitively
-    # included repo headers (members declared in a .h, iterated in the .cc).
-    idents = set(_unordered_idents(sf))
-    for inc in ctx.transitive_includes(sf):
-        inc_sf = ctx.file_by_rel(inc)
-        if inc_sf is not None:
-            idents |= _unordered_idents(inc_sf)
-
-    msg = ("iteration order over unordered containers is unspecified and "
-           "varies across libstdc++/libc++; this TU reaches serialization "
-           "(%s) so the bytes it emits must not depend on it -- iterate a "
-           "sorted copy or an ordered container instead")
-    sink = ctx.first_sink(sf)
-
-    # Range-for whose range expression names an unordered container.
-    for m in re.finditer(r"\bfor\s*\(", sf.clean):
-        close = _find_matching_paren(sf.clean, m.end() - 1)
-        head = sf.clean[m.end():close]
-        colon = _top_level_colon(head)
-        if colon == -1:
-            continue
-        range_expr = head[colon + 1:]
-        names = set(re.findall(r"[A-Za-z_]\w*", range_expr))
-        if "unordered_map" in range_expr or "unordered_set" in range_expr or (names & idents):
-            yield Finding("D2", sf, m.start(), msg % sink)
-
-    # Explicit iterator walks: x.begin() / x->begin() on an unordered ident.
-    # begin() alone marks iteration; matching end() too would double-count
-    # loops and flag harmless `it == m.end()` lookup checks after find().
-    for m in re.finditer(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*c?begin\s*\(", sf.clean):
-        if m.group(1) in idents:
-            yield Finding("D2", sf, m.start(), msg % sink)
-
-
-def _top_level_colon(head):
-    """Offset of the range-for ':' in `head`, or -1 (skips '::' and nesting)."""
-    depth = 0
-    i = 0
-    while i < len(head):
-        c = head[i]
-        if c in "(<[{":
-            depth += 1
-        elif c in ")>]}":
-            depth -= 1
-        elif c == ":" and depth == 0:
-            if i + 1 < len(head) and head[i + 1] == ":":
-                i += 2
-                continue
-            if i > 0 and head[i - 1] == ":":
-                i += 1
-                continue
-            return i
-        i += 1
-    return -1
-
-
-# --------------------------------------------------------------------------
-# U1: millisecond quantities must be TimeMs, not raw double
-
-_U1_FN_RE = re.compile(r"\bdouble\s+([A-Za-z_]\w*)\s*\(")
-_U1_VAR_RE = re.compile(r"\bdouble\s*((?:\*|&|\bconst\b|\s)*)([A-Za-z_]\w*)")
-
-
-def _is_time_name(name):
-    if "Per" in name or "_per_" in name:
-        return False  # conversion ratios (kUsPerMs, kMsPerSecond), not times
-    return name.endswith("_ms") or name.endswith("Ms") or name == "ms"
-
-
-@rule("U1", "millisecond API surfaces must use TimeMs, not raw double",
-      lambda rel: _in_src(rel) and _is_header(rel))
-def check_u1(sf, ctx):
-    del ctx
-    fn_spans = []
-    for m in _U1_FN_RE.finditer(sf.clean):
-        name = m.group(1)
-        fn_spans.append(m.start())
-        if _is_time_name(name):
-            yield Finding(
-                "U1", sf, m.start(),
-                "`double %s(...)` returns a time in ms; declare it TimeMs "
-                "(src/sim/units.h) so the unit is part of the signature" % name)
-    for m in _U1_VAR_RE.finditer(sf.clean):
-        name = m.group(2)
-        if not _is_time_name(name):
-            continue
-        # Skip function declarations (handled above): next char is '('.
-        after = sf.clean[m.end():m.end() + 1]
-        if after == "(":
-            continue
-        yield Finding(
-            "U1", sf, m.start(),
-            "`double %s` holds a time in ms; declare it TimeMs "
-            "(src/sim/units.h)" % name)
-
-
-# --------------------------------------------------------------------------
-# U2: no exact equality between floating-point times
-
-_U2_OP_RE = re.compile(r"(?<![<>=!+\-*/%&|^])([=!]=)(?!=)")
-_U2_LHS_RE = re.compile(
-    r"((?:[A-Za-z_]\w*\s*(?:::|\.|->)\s*)*[A-Za-z_]\w*\s*(?:\(\s*\))?)\s*$")
-_U2_RHS_RE = re.compile(
-    r"^\s*((?:[A-Za-z_]\w*\s*(?:::|\.|->)\s*)*[A-Za-z_]\w*\s*(?:\(\s*\))?)")
-
-
-def _u2_time_operand(expr):
-    if expr is None:
-        return False
-    expr = expr.strip()
-    call = expr.endswith(")")
-    expr = re.sub(r"\(\s*\)$", "", expr).strip()
-    # Last component of a member chain decides.
-    last = re.split(r"::|\.|->", expr)[-1].strip()
-    if last.endswith("_ms") or last == "ms":
-        return True
-    # CamelCase accessors: SettleMs(), service_ms() handled above.
-    return call and last.endswith("Ms")
-
-
-@rule("U2", "no ==/!= between floating-point time values", lambda rel: True)
-def check_u2(sf, ctx):
-    del ctx
-    for m in _U2_OP_RE.finditer(sf.clean):
-        lhs_m = _U2_LHS_RE.search(sf.clean[max(0, m.start() - 160):m.start()])
-        rhs_m = _U2_RHS_RE.match(sf.clean[m.end():m.end() + 160])
-        lhs = lhs_m.group(1) if lhs_m else None
-        rhs = rhs_m.group(1) if rhs_m else None
-        if _u2_time_operand(lhs) or _u2_time_operand(rhs):
-            yield Finding(
-                "U2", sf, m.start(),
-                "exact %s between floating-point times is fragile (phase sums "
-                "tile only up to rounding); compare with a tolerance or "
-                "restructure -- if exactness is intentional (tie-breaking), "
-                "suppress with a justification" % m.group(1))
-
-
-# --------------------------------------------------------------------------
-# N1: [[nodiscard]] on cost-returning estimate/service functions and on
-# Map* address-translation functions (layout maps, remap tables, RAID
-# geometry): dropping either a cost estimate or a computed mapping is
-# always a bug.
-
-_N1_RE = re.compile(
-    r"(\[\[\s*nodiscard\s*\]\]\s*)?"
-    r"((?:virtual\s+)?(?:constexpr\s+)?(?:inline\s+)?)"
-    r"(?:(?:mstk\s*::\s*)?(?:TimeMs|double)\s+"
-    r"((?:Estimate|Service|DegradedPenalty)\w*)"
-    r"|(?:std\s*::\s*vector\s*<\s*(?:mstk\s*::\s*)?PhysExtent\s*>"
-    r"|(?:mstk\s*::\s*)?(?:PhysExtent|MemberBlock)|int64_t)\s+"
-    r"(Map\w*))\s*\(")
-
-
-@rule("N1", "[[nodiscard]] required on cost-returning estimate/service "
-      "functions and Map* translation functions",
-      lambda rel: _in_src(rel) and _is_header(rel))
-def check_n1(sf, ctx):
-    del ctx
-    for m in _N1_RE.finditer(sf.clean):
-        if m.group(1):
-            continue
-        # Tolerate an attribute that ended just before where this match began
-        # (e.g. `[[nodiscard]] /*comment*/ double ...` after stripping).
-        before = sf.clean[max(0, m.start() - 48):m.start()]
-        if re.search(r"\[\[\s*nodiscard\s*\]\]\s*$", before):
-            continue
-        name = m.group(3) or m.group(4)
-        what = ("estimate/service time" if m.group(3)
-                else "computed block mapping")
-        yield Finding(
-            "N1", sf, m.start(),
-            "cost-returning `%s` must be [[nodiscard]]: silently dropping "
-            "%s hides accounting bugs" % (name, what))
-
-
-# --------------------------------------------------------------------------
-# C1: CI-gated sweep matrices must actually be wired into the CI workflow.
-# The registry in tools/mstk_sweep.cc is the single source of truth for
-# which matrices exist and which are CI contracts (SweepCi::kGated); this
-# rule closes the loop so a gated entry cannot silently drop out of ci.yml.
-
-_C1_WORKFLOW = ".github/workflows/ci.yml"
-# Registry rows look like `{"name", SweepCi::kGated, "summary", BuildFn},`.
-# Names are string literals, so this matches the RAW text (sf.text), not the
-# literal-stripped sf.clean.
-_C1_GATED_RE = re.compile(r'\{\s*"([A-Za-z0-9_]+)"\s*,\s*SweepCi\s*::\s*kGated\b')
-
-
-@rule("C1", "every SweepCi::kGated sweep matrix must appear in ci.yml",
-      lambda rel: rel == "tools/mstk_sweep.cc")
-def check_c1(sf, ctx):
-    matches = list(_C1_GATED_RE.finditer(sf.text))
-    if not matches:
-        return
-    wf_path = os.path.join(ctx.root, _C1_WORKFLOW)
-    try:
-        with open(wf_path, "r", encoding="utf-8") as f:
-            workflow = f.read()
-    except OSError as e:
-        yield Finding(
-            "C1", sf, matches[0].start(),
-            "registry declares SweepCi::kGated sweeps but the workflow file "
-            "%s is unreadable (%s)" % (_C1_WORKFLOW, e))
-        return
-    for m in matches:
-        name = m.group(1)
-        if not re.search(r"\b%s\b" % re.escape(name), workflow):
-            yield Finding(
-                "C1", sf, m.start(),
-                "sweep matrix \"%s\" is registered SweepCi::kGated but never "
-                "appears in %s; wire it into a selfcheck/bench step there or "
-                "demote it to SweepCi::kLocal" % (name, _C1_WORKFLOW))
-
-
-# --------------------------------------------------------------------------
-# Analysis context: include graph, compile_commands, serialization reach
-
-
-class Context:
-    def __init__(self, root, files, compile_commands=None):
-        self.root = root
-        self._by_rel = {sf.rel: sf for sf in files}
-        self._reach_cache = {}
-        self._inc_cache = {}
-        self.compile_commands = compile_commands or []
-
-    def file_by_rel(self, rel):
-        sf = self._by_rel.get(rel)
-        if sf is not None:
-            return sf
-        path = os.path.join(self.root, rel)
-        if os.path.isfile(path):
-            sf = load_file(self.root, path)
-            self._by_rel[rel] = sf
-            return sf
-        return None
-
-    def _resolve_include(self, sf, inc):
-        """Resolves a quoted include to a root-relative path, or None."""
-        inc = inc.replace("\\", "/")
-        if os.path.isfile(os.path.join(self.root, inc)):
-            return inc
-        local = os.path.normpath(os.path.join(os.path.dirname(sf.rel), inc))
-        local = local.replace(os.sep, "/")
-        if os.path.isfile(os.path.join(self.root, local)):
-            return local
-        return None
-
-    def transitive_includes(self, sf):
-        if sf.rel in self._inc_cache:
-            return self._inc_cache[sf.rel]
-        seen = set()
-        self._inc_cache[sf.rel] = seen  # breaks include cycles
-        stack = [sf]
-        while stack:
-            cur = stack.pop()
-            for inc in cur.includes:
-                rel = self._resolve_include(cur, inc)
-                if rel is None or rel in seen:
-                    continue
-                seen.add(rel)
-                nxt = self.file_by_rel(rel)
-                if nxt is not None:
-                    stack.append(nxt)
-        return seen
-
-    def reaches_serialization(self, sf):
-        if sf.rel in self._reach_cache:
-            return self._reach_cache[sf.rel]
-        reach = self.first_sink(sf) is not None
-        self._reach_cache[sf.rel] = reach
-        return reach
-
-    def first_sink(self, sf):
-        if sf.rel in _D2_SINKS:
-            return sf.rel
-        inc = self.transitive_includes(sf)
-        for sink in _D2_SINKS:
-            if sink in inc:
-                return sink
-        return None
-
-
-def load_compile_commands(path):
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            return json.load(f)
-    except (OSError, ValueError) as e:
-        sys.stderr.write("mstk-lint: warning: cannot read %s: %s\n" % (path, e))
-        return []
-
-
-# --------------------------------------------------------------------------
-# Optional libclang engine (typedef-aware U1/N1). Falls back to tokens.
-
-
-def try_ast_engine(ctx, files, selected_rules):
-    """Returns {rule_id: [Finding]} for AST-capable rules, or None."""
-    try:
-        from clang import cindex  # noqa: PLC0415
-    except ImportError:
-        return None
-    if not ctx.compile_commands:
-        return None
-    try:
-        index = cindex.Index.create()
-    except Exception as e:  # missing libclang.so despite bindings
-        sys.stderr.write("mstk-lint: warning: libclang unavailable (%s); "
-                         "using token engine\n" % e)
-        return None
-
-    by_rel = {sf.rel: sf for sf in files}
-    out = {"U1": [], "N1": []}
-    seen = set()
-    for entry in ctx.compile_commands:
-        src = os.path.normpath(os.path.join(entry.get("directory", "."),
-                                            entry.get("file", "")))
-        args = [a for a in entry.get("command", "").split()[1:]
-                if not a.endswith(".o") and a not in ("-c", "-o", src)]
-        try:
-            tu = index.parse(src, args=args)
-        except Exception:
-            continue
-        for cur in tu.cursor.walk_preorder():
-            if cur.kind not in (cindex.CursorKind.CXX_METHOD,
-                                cindex.CursorKind.FUNCTION_DECL):
-                continue
-            loc = cur.location
-            if loc.file is None:
-                continue
-            rel = os.path.relpath(str(loc.file), ctx.root).replace(os.sep, "/")
-            sf = by_rel.get(rel)
-            if sf is None or (rel, loc.line, cur.spelling) in seen:
-                continue
-            seen.add((rel, loc.line, cur.spelling))
-            offset = sf.line_starts[loc.line - 1] + loc.column - 1
-            # U1: declared (pre-typedef) return spelling must be TimeMs.
-            if "U1" in selected_rules and _is_time_name(cur.spelling):
-                if cur.result_type.spelling == "double":
-                    out["U1"].append(Finding(
-                        "U1", sf, offset,
-                        "`double %s(...)` returns a time in ms; declare it "
-                        "TimeMs (src/sim/units.h)" % cur.spelling))
-            # N1: nodiscard attribute on cost-returning functions and Map*
-            # translation functions (see the token rule for the type sets).
-            if "N1" in selected_rules and re.match(
-                    r"(?:Estimate|Service|DegradedPenalty|Map)", cur.spelling):
-                n1_types = (
-                    ("double", "TimeMs", "mstk::TimeMs")
-                    if not cur.spelling.startswith("Map") else
-                    ("int64_t", "PhysExtent", "mstk::PhysExtent",
-                     "MemberBlock", "mstk::MemberBlock",
-                     "std::vector<PhysExtent>",
-                     "std::vector<mstk::PhysExtent>"))
-                if cur.result_type.spelling in n1_types:
-                    has_nd = any(ch.kind == cindex.CursorKind.WARN_UNUSED_RESULT_ATTR
-                                 for ch in cur.get_children())
-                    if not has_nd:
-                        out["N1"].append(Finding(
-                            "N1", sf, offset,
-                            "cost-returning `%s` must be [[nodiscard]]"
-                            % cur.spelling))
-    return out
-
-
-# --------------------------------------------------------------------------
-# Auto-fix (U1/N1 only: pure token edits, no semantic change since
-# TimeMs is an alias for double)
-
-
-def apply_fixes(files, findings):
-    by_path = {sf.rel: sf for sf in files}
-    fixed = 0
-    for rel in sorted({f.path for f in findings}):
-        sf = by_path[rel]
-        text = sf.text
-        edits = []
-        for f in findings:
-            if f.path != rel:
-                continue
-            if f.rule == "U1" and text.startswith("double", f.offset):
-                edits.append((f.offset, 6, "TimeMs"))
-            elif f.rule == "N1":
-                edits.append((f.offset, 0, "[[nodiscard]] "))
-        for offset, length, repl in sorted(edits, reverse=True):
-            text = text[:offset] + repl + text[offset + length:]
-            fixed += 1
-        if text != sf.text:
-            with open(sf.path, "w", encoding="utf-8") as out:
-                out.write(text)
-    return fixed
-
-
-# --------------------------------------------------------------------------
-# Driver
-
-
-def load_file(root, path):
-    with open(path, "r", encoding="utf-8", errors="replace") as f:
-        text = f.read()
-    rel = os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
-    return SourceFile(path, rel, text)
-
-
-def collect_paths(root, args_paths):
-    exts = (".h", ".hpp", ".cc", ".cpp", ".cxx")
-    out = []
-    for p in args_paths:
-        ap = p if os.path.isabs(p) else os.path.join(root, p)
-        if os.path.isfile(ap):
-            out.append(ap)
-        elif os.path.isdir(ap):
-            for dirpath, dirnames, filenames in os.walk(ap):
-                dirnames.sort()
-                for fn in sorted(filenames):
-                    if fn.endswith(exts):
-                        out.append(os.path.join(dirpath, fn))
-        else:
-            sys.stderr.write("mstk-lint: warning: no such path: %s\n" % p)
-    return out
-
-
-def main(argv=None):
-    parser = argparse.ArgumentParser(prog="mstk-lint", description=__doc__,
-                                     formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("paths", nargs="*", default=None,
-                        help="files or directories to lint (default: src tools bench examples)")
-    parser.add_argument("--root", default=None,
-                        help="repo root (default: two levels above this script)")
-    parser.add_argument("--compile-commands", default=None, metavar="JSON",
-                        help="compile_commands.json for include paths / TU set "
-                             "(default: <root>/build/compile_commands.json if present)")
-    parser.add_argument("--json", default=None, metavar="OUT",
-                        help="write a machine-readable report (byte-stable)")
-    parser.add_argument("--rules", default=None,
-                        help="comma-separated rule filter, e.g. D1,U2")
-    parser.add_argument("--engine", choices=("auto", "ast", "tokens"), default="auto",
-                        help="analysis engine (auto: ast if libclang imports)")
-    parser.add_argument("--all-scopes", action="store_true",
-                        help="apply every rule to every file regardless of its "
-                             "default path scope (fixture testing)")
-    parser.add_argument("--fix", action="store_true",
-                        help="rewrite files to repair U1 (double -> TimeMs) and "
-                             "N1 ([[nodiscard]]) findings in place")
-    parser.add_argument("--list-rules", action="store_true")
-    parser.add_argument("-q", "--quiet", action="store_true",
-                        help="suppress per-finding output; summary only")
-    args = parser.parse_args(argv)
-
-    if args.list_rules:
-        for rid in sorted(RULES):
-            print("%s  %s" % (rid, RULES[rid].summary))
-        return 0
-
-    root = args.root or os.path.normpath(
-        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
-    root = os.path.abspath(root)
-
-    selected = sorted(RULES)
-    if args.rules:
-        selected = [r.strip() for r in args.rules.split(",") if r.strip()]
-        unknown = [r for r in selected if r not in RULES]
-        if unknown:
-            sys.stderr.write("mstk-lint: unknown rule(s): %s\n" % ", ".join(unknown))
-            return 2
-
-    paths = collect_paths(root, args.paths or ["src", "tools", "bench", "examples"])
-    if not paths:
-        sys.stderr.write("mstk-lint: no input files\n")
-        return 2
-    files = [load_file(root, p) for p in paths]
-
-    cc_path = args.compile_commands
-    if cc_path is None:
-        candidate = os.path.join(root, "build", "compile_commands.json")
-        cc_path = candidate if os.path.isfile(candidate) else None
-    compile_commands = load_compile_commands(cc_path) if cc_path else []
-    ctx = Context(root, files, compile_commands)
-
-    engine = "tokens"
-    ast_results = None
-    if args.engine in ("auto", "ast"):
-        ast_results = try_ast_engine(ctx, files, selected)
-        if ast_results is not None:
-            engine = "ast"
-        elif args.engine == "ast":
-            sys.stderr.write("mstk-lint: --engine=ast requested but libclang "
-                             "python bindings are unavailable\n")
-            return 2
-
-    findings = []
-    for sf in files:
-        for rid in selected:
-            r = RULES[rid]
-            if not args.all_scopes and not r.scope(sf.rel):
-                continue
-            # AST engine owns U1/N1 when active; token rules cover the rest.
-            if ast_results is not None and rid in ast_results:
-                continue
-            for f in r.check(sf, ctx):
-                if not sf.suppressed(rid, f.line):
-                    findings.append(f)
-    if ast_results is not None:
-        by_rel = {sf.rel: sf for sf in files}
-        for rid, fs in ast_results.items():
-            if rid not in selected:
-                continue
-            for f in fs:
-                sf = by_rel.get(f.path)
-                if sf is not None and not sf.suppressed(rid, f.line):
-                    findings.append(f)
-
-    findings.sort(key=Finding.key)
-
-    if args.fix:
-        fixed = apply_fixes(files, [f for f in findings if f.rule in ("U1", "N1")])
-        sys.stdout.write("mstk-lint: applied %d fix(es); re-run to verify\n" % fixed)
-
-    if not args.quiet:
-        for f in findings:
-            sys.stdout.write("%s:%d:%d: %s: %s\n"
-                             % (f.path, f.line, f.col, f.rule, f.message))
-    counts = {}
-    for f in findings:
-        counts[f.rule] = counts.get(f.rule, 0) + 1
-    summary = ", ".join("%s=%d" % kv for kv in sorted(counts.items())) or "clean"
-    sys.stdout.write("mstk-lint [%s engine]: %d file(s), %d finding(s) (%s)\n"
-                     % (engine, len(files), len(findings), summary))
-
-    if args.json:
-        report = {
-            "tool": "mstk-lint",
-            "engine": engine,
-            "rules": [{"id": rid, "summary": RULES[rid].summary}
-                      for rid in sorted(RULES)],
-            "selected_rules": selected,
-            "files_scanned": len(files),
-            "counts": counts,
-            "total": len(findings),
-            "findings": [f.as_dict() for f in findings],
-        }
-        with open(args.json, "w", encoding="utf-8") as out:
-            json.dump(report, out, indent=2, sort_keys=True)
-            out.write("\n")
-
-    return 1 if findings else 0
-
+from mstklint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,24 @@
+"""mstk-lint: project-invariant static analysis for the mstk simulator.
+
+Package layout:
+  source.py     file model (comment stripping, offsets, suppressions)
+  context.py    whole-program context: include graph, compile database,
+                cross-TU summary store
+  cache.py      per-file result cache keyed on content + include-closure hash
+  baseline.py   findings-baseline file for incremental adoption
+  rules/        one module per rule family (registry in rules/__init__.py)
+  astengine.py  libclang whole-TU analyzer (parallel, cache-backed)
+  fixes.py      --fix rewriters (U1, N1, T2)
+  cli.py        argument parsing, engine selection, reporters, exit codes
+
+LINT_VERSION participates in every cache key: bumping it invalidates all
+cached per-file results, so stale findings can never survive a rule change.
+"""
+
+LINT_VERSION = "2.0.0"
+
+# Exit codes (also documented in cli.py and scripts/run_lint.sh).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_ENGINE_UNAVAILABLE = 3

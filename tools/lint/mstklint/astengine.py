@@ -1,0 +1,190 @@
+"""Whole-TU libclang engine.
+
+When the clang python bindings and a compile database are present, the AST
+engine parses every TU in compile_commands.json (in parallel, up to --jobs
+workers; libclang releases the GIL while parsing) and owns the rules where
+typedef- and template-awareness beats tokens: U1 (a `double` return that is
+really `TimeMs` through an alias chain) and N1 (the [[nodiscard]] attribute
+as parsed, not as spelled). The token engine keeps the remaining rules in
+both modes, so findings for D1/D2/U2/T2/L1/S1/C1/W1 are engine-independent
+by construction -- the agreement test in tests/lint_test.py pins that.
+
+Per-TU results are cached alongside the token results, keyed on the TU's
+include-closure hash, so warm tree-wide AST runs only re-parse TUs whose
+closure changed.
+
+Availability is a tri-state the CLI turns into exit codes: available,
+unavailable (no bindings / no shared library / no compile database), and
+force-disabled via MSTK_LINT_NO_LIBCLANG=1 (used by tests to exercise the
+unavailable path deterministically on any machine).
+"""
+
+import os
+import re
+import sys
+
+from .source import Finding
+from .rules.units import is_time_name
+
+AST_RULES = ("U1", "N1")
+
+
+def _locate_library(cindex):
+    """Makes cindex loadable, searching distro install paths if needed."""
+    try:
+        cindex.Index.create()
+        return True
+    except Exception:
+        pass
+    import glob
+    candidates = []
+    for pat in ("/usr/lib/llvm-*/lib/libclang.so*",
+                "/usr/lib/llvm-*/lib/libclang-*.so*",
+                "/usr/lib/*/libclang-*.so*"):
+        candidates.extend(sorted(glob.glob(pat), reverse=True))
+    for path in candidates:
+        try:
+            cindex.Config.loaded = False
+            cindex.Config.set_library_file(path)
+            cindex.Index.create()
+            return True
+        except Exception:
+            continue
+    return False
+
+
+def ast_available(ctx):
+    """(ok, reason): can the AST engine run for this context?"""
+    if os.environ.get("MSTK_LINT_NO_LIBCLANG"):
+        return False, "disabled by MSTK_LINT_NO_LIBCLANG"
+    try:
+        from clang import cindex  # noqa: PLC0415
+    except ImportError:
+        return False, "clang python bindings are not importable"
+    if not ctx.compile_commands:
+        return False, "no compile database (build with CMAKE_EXPORT_COMPILE_COMMANDS)"
+    if not _locate_library(cindex):
+        return False, "libclang shared library unavailable"
+    return True, ""
+
+
+def _tu_args(entry, src):
+    return [a for a in entry.get("command", "").split()[1:]
+            if not a.endswith(".o") and a not in ("-c", "-o", src)]
+
+
+def _scan_tu(index, cindex, ctx, by_rel, entry, selected_rules):
+    """Parses one TU; returns wire-format findings located in known files."""
+    src = os.path.normpath(os.path.join(entry.get("directory", "."),
+                                        entry.get("file", "")))
+    try:
+        tu = index.parse(src, args=_tu_args(entry, src))
+    except Exception:
+        return []
+    wire = []
+    seen = set()
+    for cur in tu.cursor.walk_preorder():
+        if cur.kind not in (cindex.CursorKind.CXX_METHOD,
+                            cindex.CursorKind.FUNCTION_DECL):
+            continue
+        loc = cur.location
+        if loc.file is None:
+            continue
+        rel = os.path.relpath(str(loc.file), ctx.root).replace(os.sep, "/")
+        sf = by_rel.get(rel)
+        if sf is None or (rel, loc.line, cur.spelling) in seen:
+            continue
+        seen.add((rel, loc.line, cur.spelling))
+        offset = sf.line_starts[loc.line - 1] + loc.column - 1
+        # U1: declared (pre-typedef) return spelling must be TimeMs.
+        if "U1" in selected_rules and is_time_name(cur.spelling):
+            if cur.result_type.spelling == "double":
+                wire.append({"rule": "U1", "path": rel, "offset": offset,
+                             "message": "`double %s(...)` returns a time in "
+                                        "ms; declare it TimeMs "
+                                        "(src/sim/units.h)" % cur.spelling})
+        # N1: nodiscard attribute on cost-returning functions and Map*
+        # translation functions (see the token rule for the type sets).
+        if "N1" in selected_rules and re.match(
+                r"(?:Estimate|Service|DegradedPenalty|Map)", cur.spelling):
+            n1_types = (
+                ("double", "TimeMs", "mstk::TimeMs")
+                if not cur.spelling.startswith("Map") else
+                ("int64_t", "PhysExtent", "mstk::PhysExtent",
+                 "MemberBlock", "mstk::MemberBlock",
+                 "std::vector<PhysExtent>",
+                 "std::vector<mstk::PhysExtent>"))
+            if cur.result_type.spelling in n1_types:
+                has_nd = any(ch.kind == cindex.CursorKind.WARN_UNUSED_RESULT_ATTR
+                             for ch in cur.get_children())
+                if not has_nd:
+                    wire.append({"rule": "N1", "path": rel, "offset": offset,
+                                 "message": "cost-returning `%s` must be "
+                                            "[[nodiscard]]" % cur.spelling})
+    return wire
+
+
+def run_ast_engine(ctx, files, selected_rules, jobs=1, cache=None):
+    """Returns {rule_id: [Finding]} for the AST-owned rules, or None."""
+    try:
+        from clang import cindex  # noqa: PLC0415
+    except ImportError:
+        return None
+    if not _locate_library(cindex):
+        sys.stderr.write("mstk-lint: warning: libclang unavailable; "
+                         "using token engine\n")
+        return None
+    index = cindex.Index.create()
+
+    by_rel = {sf.rel: sf for sf in files}
+    out = {rid: [] for rid in AST_RULES}
+    emitted = set()  # a header declaration surfaces once, not once per TU
+
+    def emit(wire_list):
+        for rec in wire_list:
+            key = (rec["path"], rec["offset"], rec["rule"])
+            if key in emitted:
+                continue
+            emitted.add(key)
+            sf = by_rel.get(rec["path"])
+            if sf is None:
+                sf = ctx.file_by_rel(rec["path"])
+            if sf is None:
+                continue
+            out[rec["rule"]].append(
+                Finding(rec["rule"], sf, rec["offset"], rec["message"]))
+
+    pending = []
+    for entry in ctx.compile_commands:
+        src = os.path.normpath(os.path.join(entry.get("directory", "."),
+                                            entry.get("file", "")))
+        rel = os.path.relpath(src, ctx.root).replace(os.sep, "/")
+        cache_key_rel = "ast::" + rel
+        tu_sf = ctx.file_by_rel(rel)
+        closure = ctx.closure_hash(tu_sf) if tu_sf is not None else ""
+        if cache is not None and tu_sf is not None:
+            hit = cache.get(cache_key_rel, closure)
+            if hit is not None:
+                emit(hit)
+                continue
+        pending.append((entry, cache_key_rel, closure, tu_sf))
+
+    def run_one(item):
+        entry, _, _, _ = item
+        return _scan_tu(index, cindex, ctx, by_rel, entry, selected_rules)
+
+    if jobs > 1 and len(pending) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(run_one, pending))
+    else:
+        results = [run_one(item) for item in pending]
+
+    for (entry, cache_key_rel, closure, tu_sf), wire in zip(pending, results):
+        if cache is not None and tu_sf is not None:
+            cache.put(cache_key_rel, closure, wire)
+        emit(wire)
+
+    for rid in out:
+        out[rid].sort(key=Finding.key)
+    return out

@@ -1,0 +1,71 @@
+"""Findings baseline: incremental adoption of new rules.
+
+A baseline file records findings that existed when a rule landed; they are
+reported (marked `baselined`) but do not fail the run, so a new rule can be
+turned on tree-wide before every legacy site is repaired. Keys are
+(path, rule, message) -- deliberately line-independent, so unrelated edits
+above a baselined site do not resurrect it, while fixing the site (message
+changes or disappears) retires the entry.
+
+The tree currently lints clean, so the checked-in baseline is empty; the
+mechanism exists for future rule roll-outs and downstream forks.
+"""
+
+import json
+import sys
+
+
+def _key(path, rule, message):
+    return "%s\x00%s\x00%s" % (path, rule, message)
+
+
+class Baseline:
+    def __init__(self, entries=None):
+        # key -> budget: how many identical (path, rule, message) findings
+        # the baseline absorbs (the same message can fire on several lines).
+        self._budget = dict(entries or {})
+
+    @staticmethod
+    def load(path):
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            sys.stderr.write("mstk-lint: warning: cannot read baseline %s: %s\n"
+                             % (path, e))
+            return Baseline()
+        budget = {}
+        for rec in doc.get("findings", []):
+            k = _key(rec["path"], rec["rule"], rec["message"])
+            budget[k] = budget.get(k, 0) + int(rec.get("count", 1))
+        return Baseline(budget)
+
+    def split(self, findings):
+        """Partitions findings into (new, baselined), preserving order."""
+        remaining = dict(self._budget)
+        new, baselined = [], []
+        for f in findings:
+            k = _key(f.path, f.rule, f.message)
+            if remaining.get(k, 0) > 0:
+                remaining[k] -= 1
+                baselined.append(f)
+            else:
+                new.append(f)
+        return new, baselined
+
+    @staticmethod
+    def write(path, findings):
+        counts = {}
+        for f in findings:
+            k = (f.path, f.rule, f.message)
+            counts[k] = counts.get(k, 0) + 1
+        doc = {
+            "tool": "mstk-lint",
+            "findings": [
+                {"path": p, "rule": r, "message": m, "count": c}
+                for (p, r, m), c in sorted(counts.items())
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as out:
+            json.dump(doc, out, indent=2, sort_keys=True)
+            out.write("\n")

@@ -1,0 +1,89 @@
+"""Per-file result cache.
+
+Tree-wide AST runs must stay fast when almost nothing changed, so findings
+are cached per file in one JSON document under `<root>/.mstk-lint-cache/`.
+The key for a file is a hash of:
+
+  - the file's content hash plus its transitive include-closure hash
+    (headers feed D2's identifier harvesting and T2's domain facts),
+  - LINT_VERSION (a rule change invalidates everything),
+  - the engine and the selected rule set,
+  - any out-of-tree dependency a rule reads for that file (C1's ci.yml).
+
+Entries store RAW findings -- before suppression filtering -- because rule
+W1 (unused suppressions) needs to know what each allow() comment would have
+suppressed. Suppressions are re-applied on load, which is correct because a
+suppression edit changes the file content and therefore the key.
+"""
+
+import json
+import os
+
+from . import LINT_VERSION
+
+CACHE_DIR_NAME = ".mstk-lint-cache"
+CACHE_FILE = "findings.json"
+
+
+class ResultCache:
+    def __init__(self, cache_dir, engine, rules_sig):
+        self.dir = cache_dir
+        self.engine = engine
+        self.rules_sig = rules_sig
+        self.hits = 0
+        self.misses = 0
+        self._store = {}
+        self._dirty = False
+        self._path = os.path.join(cache_dir, CACHE_FILE) if cache_dir else None
+        if self._path and os.path.isfile(self._path):
+            try:
+                with open(self._path, "r", encoding="utf-8") as f:
+                    doc = json.load(f)
+                if doc.get("version") == LINT_VERSION:
+                    self._store = doc.get("files", {})
+            except (OSError, ValueError):
+                self._store = {}
+
+    def _key(self, closure_hash, extra_hash):
+        return "%s:%s:%s:%s" % (closure_hash, extra_hash, self.engine,
+                                self.rules_sig)
+
+    def get(self, rel, closure_hash, extra_hash=""):
+        """Cached raw findings for `rel`, or None on miss."""
+        entry = self._store.get(rel)
+        if entry is None or entry.get("key") != self._key(closure_hash, extra_hash):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["findings"]
+
+    def put(self, rel, closure_hash, findings, extra_hash=""):
+        self._store[rel] = {
+            "key": self._key(closure_hash, extra_hash),
+            "findings": findings,
+        }
+        self._dirty = True
+
+    def save(self):
+        if not self._path or not self._dirty:
+            return
+        try:
+            os.makedirs(self.dir, exist_ok=True)
+            tmp = self._path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as out:
+                json.dump({"version": LINT_VERSION, "files": self._store},
+                          out, sort_keys=True)
+                out.write("\n")
+            os.replace(tmp, self._path)
+        except OSError:
+            pass  # cache is best-effort; never fail the lint over it
+
+
+def finding_to_wire(f):
+    """Serializable form of a Finding (offset kept so fixers still work)."""
+    return {"rule": f.rule, "offset": f.offset, "message": f.message}
+
+
+def finding_from_wire(rec, sf):
+    from .source import Finding
+    return Finding(rec["rule"], sf, rec["offset"], rec["message"])

@@ -1,0 +1,153 @@
+"""Whole-program analysis context.
+
+Owns the include graph (D2's fixpoint, reused by the cache's closure hash),
+the compile database, and the cross-TU summary store: one small record per
+file capturing the facts other files' rules need (includes, scheduling-sink
+call sites, RNG construction counts, serialization reach). Summaries are
+pure functions of file content, so they are cached alongside findings.
+"""
+
+import hashlib
+import json
+import os
+import sys
+
+from .source import load_file
+
+# Serialization sinks for rule D2: a TU that transitively includes one of
+# these emits bytes whose order must not depend on hash-table layout.
+D2_SINKS = (
+    "src/sim/json_writer.h",
+    "src/sim/trace_writer.h",
+    "src/sim/metrics_registry.h",
+    "src/core/metrics.h",
+)
+
+
+class Context:
+    def __init__(self, root, files, compile_commands=None):
+        self.root = root
+        self._by_rel = {sf.rel: sf for sf in files}
+        self._reach_cache = {}
+        self._inc_cache = {}
+        self._summary_cache = {}
+        self.compile_commands = compile_commands or []
+
+    def file_by_rel(self, rel):
+        sf = self._by_rel.get(rel)
+        if sf is not None:
+            return sf
+        path = os.path.join(self.root, rel)
+        if os.path.isfile(path):
+            sf = load_file(self.root, path)
+            self._by_rel[rel] = sf
+            return sf
+        return None
+
+    def _resolve_include(self, sf, inc):
+        """Resolves a quoted include to a root-relative path, or None."""
+        inc = inc.replace("\\", "/")
+        if os.path.isfile(os.path.join(self.root, inc)):
+            return inc
+        local = os.path.normpath(os.path.join(os.path.dirname(sf.rel), inc))
+        local = local.replace(os.sep, "/")
+        if os.path.isfile(os.path.join(self.root, local)):
+            return local
+        return None
+
+    def transitive_includes(self, sf):
+        if sf.rel in self._inc_cache:
+            return self._inc_cache[sf.rel]
+        seen = set()
+        self._inc_cache[sf.rel] = seen  # breaks include cycles
+        stack = [sf]
+        while stack:
+            cur = stack.pop()
+            for inc in cur.includes:
+                rel = self._resolve_include(cur, inc)
+                if rel is None or rel in seen:
+                    continue
+                seen.add(rel)
+                nxt = self.file_by_rel(rel)
+                if nxt is not None:
+                    stack.append(nxt)
+        return seen
+
+    def reaches_serialization(self, sf):
+        if sf.rel in self._reach_cache:
+            return self._reach_cache[sf.rel]
+        reach = self.first_sink(sf) is not None
+        self._reach_cache[sf.rel] = reach
+        return reach
+
+    def first_sink(self, sf):
+        if sf.rel in D2_SINKS:
+            return sf.rel
+        inc = self.transitive_includes(sf)
+        for sink in D2_SINKS:
+            if sink in inc:
+                return sink
+        return None
+
+    # -- cross-TU summary store ---------------------------------------------
+
+    def summary(self, sf):
+        """Per-file summary record (cheap facts other rules consume)."""
+        if sf.rel in self._summary_cache:
+            return self._summary_cache[sf.rel]
+        # Imported lazily: rules/__init__ imports context for D2_SINKS.
+        from .rules.capture import find_sink_calls
+        from .rules.seeds import rng_construction_count
+        inc = sorted(self.transitive_includes(sf))
+        rec = {
+            "sha": sf.sha,
+            "includes": inc,
+            "reaches_serialization": self.first_sink(sf) is not None,
+            "sink_calls": len(find_sink_calls(sf.clean)),
+            "rng_ctors": rng_construction_count(sf.clean),
+        }
+        self._summary_cache[sf.rel] = rec
+        return rec
+
+    def closure_hash(self, sf):
+        """Hash of this file's content plus its transitive include closure.
+
+        The per-file cache key: a change in any header a TU can see must
+        invalidate the TU's cached findings (D2's identifier harvesting reads
+        included headers; T2's domain facts can live in headers too).
+        """
+        h = hashlib.sha256()
+        h.update(sf.sha.encode())
+        for rel in sorted(self.transitive_includes(sf)):
+            inc_sf = self.file_by_rel(rel)
+            if inc_sf is not None:
+                h.update(rel.encode())
+                h.update(inc_sf.sha.encode())
+        return h.hexdigest()
+
+    def extra_dependency_hash(self, sf):
+        """Out-of-tree inputs a rule reads for this file (e.g. C1's ci.yml)."""
+        if sf.rel != "tools/mstk_sweep.cc":
+            return ""
+        wf = os.path.join(self.root, ".github", "workflows", "ci.yml")
+        try:
+            with open(wf, "rb") as f:
+                return hashlib.sha256(f.read()).hexdigest()
+        except OSError:
+            return "missing"
+
+    def write_summary_store(self, files, out_path):
+        """Persists the summary store (byte-stable JSON) for tooling/tests."""
+        store = {sf.rel: self.summary(sf) for sf in files}
+        with open(out_path, "w", encoding="utf-8") as out:
+            json.dump(store, out, indent=2, sort_keys=True)
+            out.write("\n")
+
+
+def load_compile_commands(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.stderr.write("mstk-lint: warning: cannot read %s: %s\n" % (path, e))
+        return []

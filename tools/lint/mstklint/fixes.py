@@ -1,0 +1,119 @@
+"""Auto-fix: pure token edits with no semantic change.
+
+  U1  `double Foo(...)`            -> `TimeMs Foo(...)` (TimeMs aliases double)
+  N1  missing attribute            -> insert `[[nodiscard]] `
+  T2  raw unit conversions         -> the named converters in src/sim/units.h:
+        static_cast<double>(X) / kUsPerMs        -> UsToMs(X)
+        static_cast<int64_t>(X * kUsPerMs + 0.5) -> MsToUs(X)
+        ms_lhs = us_rhs                          -> ms_lhs = UsToMs(us_rhs)
+        us_lhs = ms_rhs                          -> us_lhs = MsToUs(ms_rhs)
+
+A T2 fix is applied only when the conversion direction is unambiguous from
+the statement itself; mixed statements that match no pattern are left for a
+human. Fixes are idempotent: a repaired statement no longer matches any T2
+pattern (the converter's arguments are blanked before domain checking), so
+fix(fix(t)) == fix(t).
+"""
+
+import re
+
+from .source import find_matching_paren
+from .rules.units import _MS_IDENT_RE, _US_IDENT_RE
+
+_CAST_DOUBLE_RE = re.compile(r"\bstatic_cast\s*<\s*double\s*>\s*\(")
+_CAST_INT64_RE = re.compile(r"\bstatic_cast\s*<\s*(?:std\s*::\s*)?int64_t\s*>\s*\(")
+_MS_SCALE_TAIL_RE = re.compile(r"^(.*?)\s*\*\s*kUsPerMs\s*\+\s*0\.5\s*$", re.S)
+_DIV_KUSPERMS_RE = re.compile(r"\s*/\s*kUsPerMs\b")
+_BARE_ASSIGN_RE = re.compile(
+    r"^(\s*)([A-Za-z_][\w.]*(?:->[\w.]*)*)(\s*=\s*)"
+    r"([A-Za-z_][\w.]*(?:->[\w.]*)*)(\s*)$")
+
+
+def _statement_span(clean, offset):
+    """Full statement around `offset` (a T2 finding points mid-statement)."""
+    start = max(clean.rfind(";", 0, offset), clean.rfind("{", 0, offset),
+                clean.rfind("}", 0, offset)) + 1
+    end = clean.find(";", offset)
+    return start, (len(clean) if end == -1 else end)
+
+
+def _t2_edits(sf, offset):
+    """(start, length, replacement) edits for the T2 statement at offset."""
+    clean = sf.clean
+    start, end = _statement_span(clean, offset)
+    edits = []
+
+    for m in _CAST_DOUBLE_RE.finditer(clean, start, end):
+        open_p = m.end() - 1
+        close_p = find_matching_paren(clean, open_p)
+        if close_p >= end:
+            continue
+        tail = _DIV_KUSPERMS_RE.match(clean, close_p + 1)
+        if tail is None or tail.end() > end:
+            continue
+        inner = sf.text[open_p + 1:close_p].strip()
+        edits.append((m.start(), tail.end() - m.start(), "UsToMs(%s)" % inner))
+
+    for m in _CAST_INT64_RE.finditer(clean, start, end):
+        open_p = m.end() - 1
+        close_p = find_matching_paren(clean, open_p)
+        if close_p >= end:
+            continue
+        mm = _MS_SCALE_TAIL_RE.match(sf.text[open_p + 1:close_p])
+        if mm is None:
+            continue
+        edits.append((m.start(), close_p + 1 - m.start(),
+                      "MsToUs(%s)" % mm.group(1).strip()))
+
+    if not edits:
+        m = _BARE_ASSIGN_RE.match(clean[start:end])
+        if m:
+            lhs, rhs = m.group(2), m.group(4)
+            lhs_us = bool(_US_IDENT_RE.fullmatch(lhs.split(".")[-1].split("->")[-1]))
+            lhs_ms = bool(_MS_IDENT_RE.fullmatch(lhs.split(".")[-1].split("->")[-1]))
+            rhs_us = bool(_US_IDENT_RE.fullmatch(rhs.split(".")[-1].split("->")[-1]))
+            rhs_ms = bool(_MS_IDENT_RE.fullmatch(rhs.split(".")[-1].split("->")[-1]))
+            conv = None
+            if lhs_ms and rhs_us and not (lhs_us or rhs_ms):
+                conv = "UsToMs"
+            elif lhs_us and rhs_ms and not (lhs_ms or rhs_us):
+                conv = "MsToUs"
+            if conv:
+                rhs_start = start + m.start(4)
+                edits.append((rhs_start, len(rhs), "%s(%s)" % (conv, rhs)))
+    return edits
+
+
+FIXABLE_RULES = ("U1", "N1", "T2")
+
+
+def apply_fixes(files, findings):
+    """Rewrites files in place; returns the number of edits applied."""
+    by_path = {sf.rel: sf for sf in files}
+    fixed = 0
+    for rel in sorted({f.path for f in findings}):
+        sf = by_path[rel]
+        text = sf.text
+        edits = []
+        for f in findings:
+            if f.path != rel:
+                continue
+            if f.rule == "U1" and text.startswith("double", f.offset):
+                edits.append((f.offset, 6, "TimeMs"))
+            elif f.rule == "N1":
+                edits.append((f.offset, 0, "[[nodiscard]] "))
+            elif f.rule == "T2":
+                edits.extend(_t2_edits(sf, f.offset))
+        # De-duplicate (two findings on one statement propose the same edit)
+        # and apply back-to-front so earlier offsets stay valid.
+        seen = set()
+        for offset, length, repl in sorted(edits, reverse=True):
+            if (offset, length) in seen:
+                continue
+            seen.add((offset, length))
+            text = text[:offset] + repl + text[offset + length:]
+            fixed += 1
+        if text != sf.text:
+            with open(sf.path, "w", encoding="utf-8") as out:
+                out.write(text)
+    return fixed

@@ -1,0 +1,44 @@
+"""C1: CI-gated sweep matrices must actually be wired into the CI workflow.
+
+The registry in tools/mstk_sweep.cc is the single source of truth for which
+matrices exist and which are CI contracts (SweepCi::kGated); this rule
+closes the loop so a gated entry cannot silently drop out of ci.yml.
+"""
+
+import os
+import re
+
+from . import rule
+from ..source import Finding
+
+_C1_WORKFLOW = ".github/workflows/ci.yml"
+# Registry rows look like `{"name", SweepCi::kGated, "summary", BuildFn},`.
+# Names are string literals, so this matches the RAW text (sf.text), not the
+# literal-stripped sf.clean.
+_C1_GATED_RE = re.compile(r'\{\s*"([A-Za-z0-9_]+)"\s*,\s*SweepCi\s*::\s*kGated\b')
+
+
+@rule("C1", "every SweepCi::kGated sweep matrix must appear in ci.yml",
+      lambda rel: rel == "tools/mstk_sweep.cc")
+def check_c1(sf, ctx):
+    matches = list(_C1_GATED_RE.finditer(sf.text))
+    if not matches:
+        return
+    wf_path = os.path.join(ctx.root, _C1_WORKFLOW)
+    try:
+        with open(wf_path, "r", encoding="utf-8") as f:
+            workflow = f.read()
+    except OSError as e:
+        yield Finding(
+            "C1", sf, matches[0].start(),
+            "registry declares SweepCi::kGated sweeps but the workflow file "
+            "%s is unreadable (%s)" % (_C1_WORKFLOW, e))
+        return
+    for m in matches:
+        name = m.group(1)
+        if not re.search(r"\b%s\b" % re.escape(name), workflow):
+            yield Finding(
+                "C1", sf, m.start(),
+                "sweep matrix \"%s\" is registered SweepCi::kGated but never "
+                "appears in %s; wire it into a selfcheck/bench step there or "
+                "demote it to SweepCi::kLocal" % (name, _C1_WORKFLOW))

@@ -1,0 +1,41 @@
+"""N1: [[nodiscard]] on cost-returning estimate/service functions and on
+Map* address-translation functions (layout maps, remap tables, RAID
+geometry): dropping either a cost estimate or a computed mapping is always a
+bug.
+"""
+
+import re
+
+from . import in_src, is_header, rule
+from ..source import Finding
+
+_N1_RE = re.compile(
+    r"(\[\[\s*nodiscard\s*\]\]\s*)?"
+    r"((?:virtual\s+)?(?:constexpr\s+)?(?:inline\s+)?)"
+    r"(?:(?:mstk\s*::\s*)?(?:TimeMs|double)\s+"
+    r"((?:Estimate|Service|DegradedPenalty)\w*)"
+    r"|(?:std\s*::\s*vector\s*<\s*(?:mstk\s*::\s*)?PhysExtent\s*>"
+    r"|(?:mstk\s*::\s*)?(?:PhysExtent|MemberBlock)|int64_t)\s+"
+    r"(Map\w*))\s*\(")
+
+
+@rule("N1", "[[nodiscard]] required on cost-returning estimate/service "
+      "functions and Map* translation functions",
+      lambda rel: in_src(rel) and is_header(rel))
+def check_n1(sf, ctx):
+    del ctx
+    for m in _N1_RE.finditer(sf.clean):
+        if m.group(1):
+            continue
+        # Tolerate an attribute that ended just before where this match began
+        # (e.g. `[[nodiscard]] /*comment*/ double ...` after stripping).
+        before = sf.clean[max(0, m.start() - 48):m.start()]
+        if re.search(r"\[\[\s*nodiscard\s*\]\]\s*$", before):
+            continue
+        name = m.group(3) or m.group(4)
+        what = ("estimate/service time" if m.group(3)
+                else "computed block mapping")
+        yield Finding(
+            "N1", sf, m.start(),
+            "cost-returning `%s` must be [[nodiscard]]: silently dropping "
+            "%s hides accounting bugs" % (name, what))

@@ -1,0 +1,57 @@
+"""W1: unused-suppression detection.
+
+A `// mstk-lint: allow(<rule>)` comment that suppresses nothing is itself a
+finding: stale allows otherwise accumulate and quietly whitelist future real
+violations at that line. W1 runs as a post pass over the RAW findings of the
+first pass (before suppression filtering), so it knows exactly what each
+allow absorbed.
+
+An allow is counted used only for rules that actually ran on its file in
+this invocation (`--rules D1` must not mark an allow(U2) stale), and a
+reference to a rule id that does not exist is always stale.
+"""
+
+from . import RULES, rule
+from ..source import Finding
+
+
+@rule("W1", "no stale mstk-lint: allow() suppressions", lambda rel: True,
+      post=True)
+def check_w1(sf, ctx):
+    """Requires ctx.raw_findings_by_file / ctx.checked_rules_by_file, which
+    the driver attaches before running post rules."""
+    raw = getattr(ctx, "raw_findings_by_file", {}).get(sf.rel, [])
+    checked = getattr(ctx, "checked_rules_by_file", {}).get(sf.rel, set())
+    if not sf.allow_comments:
+        return
+
+    # Lines each rule fired on (pre-suppression).
+    fired = {}
+    for f in raw:
+        fired.setdefault(f.rule, set()).add(f.line)
+
+    for lineno, rules, offset in sf.allow_comments:
+        # The allow covers its own line, plus the next line when the comment
+        # stands alone (mirrors SourceFile._parse_suppressions).
+        raw_line = sf.text.split("\n")[lineno - 1]
+        before = raw_line[: raw_line.find("//")] if "//" in raw_line else raw_line
+        covered = {lineno} | ({lineno + 1} if before.strip() == "" else set())
+        for rid in sorted(rules):
+            if rid == "W1":
+                continue  # an allow(W1) only ever suppresses this rule
+            if rid in RULES and rid not in checked:
+                continue  # rule not run here; cannot judge staleness
+            if rid not in RULES:
+                yield Finding(
+                    "W1", sf, offset,
+                    "suppression references unknown rule `%s`; it can never "
+                    "suppress anything -- remove it" % rid)
+                continue
+            if not (fired.get(rid, set()) & covered):
+                yield Finding(
+                    "W1", sf, offset,
+                    "stale suppression: allow(%s) covers line%s %s but %s "
+                    "reports nothing there; remove the comment so it cannot "
+                    "whitelist a future real violation"
+                    % (rid, "s" if len(covered) > 1 else "",
+                       "/".join(str(l) for l in sorted(covered)), rid))

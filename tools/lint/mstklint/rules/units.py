@@ -1,0 +1,187 @@
+"""Unit-discipline rules.
+
+U1: millisecond API surfaces must be TimeMs, not raw double.
+U2: no ==/!= between floating-point time values.
+T2: trace-layer integer microseconds may only meet sim-layer TimeMs through
+    the named converters UsToMs / MsToUs (src/sim/units.h). Any statement
+    that mixes a *_us value with a *_ms / TimeMs value raw, or that scales a
+    time value by kUsPerMs outside a converter, is an error. --fix inserts
+    the converter where the direction is unambiguous (see fixes.py).
+"""
+
+import re
+
+from . import in_src, is_header, rule
+from ..source import Finding, find_matching_paren
+
+# -- U1 ---------------------------------------------------------------------
+
+_U1_FN_RE = re.compile(r"\bdouble\s+([A-Za-z_]\w*)\s*\(")
+_U1_VAR_RE = re.compile(r"\bdouble\s*((?:\*|&|\bconst\b|\s)*)([A-Za-z_]\w*)")
+
+
+def is_time_name(name):
+    if "Per" in name or "_per_" in name:
+        return False  # conversion ratios (kUsPerMs, kMsPerSecond), not times
+    return name.endswith("_ms") or name.endswith("Ms") or name == "ms"
+
+
+@rule("U1", "millisecond API surfaces must use TimeMs, not raw double",
+      lambda rel: in_src(rel) and is_header(rel))
+def check_u1(sf, ctx):
+    del ctx
+    for m in _U1_FN_RE.finditer(sf.clean):
+        name = m.group(1)
+        if is_time_name(name):
+            yield Finding(
+                "U1", sf, m.start(),
+                "`double %s(...)` returns a time in ms; declare it TimeMs "
+                "(src/sim/units.h) so the unit is part of the signature" % name)
+    for m in _U1_VAR_RE.finditer(sf.clean):
+        name = m.group(2)
+        if not is_time_name(name):
+            continue
+        # Skip function declarations (handled above): next char is '('.
+        after = sf.clean[m.end():m.end() + 1]
+        if after == "(":
+            continue
+        yield Finding(
+            "U1", sf, m.start(),
+            "`double %s` holds a time in ms; declare it TimeMs "
+            "(src/sim/units.h)" % name)
+
+
+# -- U2 ---------------------------------------------------------------------
+
+_U2_OP_RE = re.compile(r"(?<![<>=!+\-*/%&|^])([=!]=)(?!=)")
+_U2_LHS_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*(?:::|\.|->)\s*)*[A-Za-z_]\w*\s*(?:\(\s*\))?)\s*$")
+_U2_RHS_RE = re.compile(
+    r"^\s*((?:[A-Za-z_]\w*\s*(?:::|\.|->)\s*)*[A-Za-z_]\w*\s*(?:\(\s*\))?)")
+
+
+def _u2_time_operand(expr):
+    if expr is None:
+        return False
+    expr = expr.strip()
+    call = expr.endswith(")")
+    expr = re.sub(r"\(\s*\)$", "", expr).strip()
+    # Last component of a member chain decides.
+    last = re.split(r"::|\.|->", expr)[-1].strip()
+    if last.endswith("_ms") or last == "ms":
+        return True
+    # CamelCase accessors: SettleMs(), service_ms() handled above.
+    return call and last.endswith("Ms")
+
+
+@rule("U2", "no ==/!= between floating-point time values", lambda rel: True)
+def check_u2(sf, ctx):
+    del ctx
+    for m in _U2_OP_RE.finditer(sf.clean):
+        lhs_m = _U2_LHS_RE.search(sf.clean[max(0, m.start() - 160):m.start()])
+        rhs_m = _U2_RHS_RE.match(sf.clean[m.end():m.end() + 160])
+        lhs = lhs_m.group(1) if lhs_m else None
+        rhs = rhs_m.group(1) if rhs_m else None
+        if _u2_time_operand(lhs) or _u2_time_operand(rhs):
+            yield Finding(
+                "U2", sf, m.start(),
+                "exact %s between floating-point times is fragile (phase sums "
+                "tile only up to rounding); compare with a tolerance or "
+                "restructure -- if exactness is intentional (tie-breaking), "
+                "suppress with a justification" % m.group(1))
+
+
+# -- T2 ---------------------------------------------------------------------
+
+CONVERTERS = ("UsToMs", "MsToUs")
+
+# Domain classification. Ratio constants (kUsPerMs) are neither domain; the
+# converter names contain both suffixes and are excluded explicitly.
+_US_IDENT_RE = re.compile(r"\b(?:[A-Za-z_]\w*(?:_us|Us)|us)\b")
+_MS_IDENT_RE = re.compile(r"\b(?:[A-Za-z_]\w*(?:_ms|Ms)|ms|TimeMs)\b")
+_SCALE_RE = re.compile(r"\bkUsPerMs\b")
+
+
+def _domain_idents(stmt, pattern):
+    out = []
+    for m in pattern.finditer(stmt):
+        name = m.group(0)
+        if name in CONVERTERS or "Per" in name or "_per_" in name:
+            continue
+        out.append((m.start(), name))
+    return out
+
+
+def blank_converter_calls(stmt):
+    """Replaces the argument lists of UsToMs(...)/MsToUs(...) with spaces.
+
+    A value inside a converter call has, by definition, crossed the boundary
+    through the sanctioned door; what remains in the statement afterwards is
+    what the raw-mixing check sees.
+    """
+    out = stmt
+    for conv in CONVERTERS:
+        pos = 0
+        while True:
+            m = re.compile(r"\b%s\s*\(" % conv).search(out, pos)
+            if m is None:
+                break
+            close = find_matching_paren(out, m.end() - 1)
+            out = (out[:m.start()] + " " * (close + 1 - m.start()) +
+                   out[close + 1:])
+            pos = close + 1
+    return out
+
+
+def iter_statements(clean):
+    """Yields (offset, text, terminator) per statement chunk.
+
+    Chunks terminated by '{' are function/control headers, not statements:
+    a parameter list naming both a *_us and a *_ms parameter is declaration,
+    not a crossing. T2 checks only ';'/'}'-terminated chunks.
+    """
+    start = 0
+    for i, c in enumerate(clean):
+        if c in ";{}":
+            chunk = clean[start:i]
+            if chunk.strip():
+                yield start, chunk, c
+            start = i + 1
+    tail = clean[start:]
+    if tail.strip():
+        yield start, tail, ";"
+
+
+def _t2_scope(rel):
+    # The converters themselves (and the ratio constants they are defined
+    # with) live in units.h; everything else in src/ is in scope.
+    return in_src(rel) and rel != "src/sim/units.h"
+
+
+@rule("T2", "trace-layer us values may only meet sim-layer TimeMs through "
+      "UsToMs/MsToUs", _t2_scope)
+def check_t2(sf, ctx):
+    del ctx
+    for off, stmt, term in iter_statements(sf.clean):
+        if term == "{":
+            continue
+        blanked = blank_converter_calls(stmt)
+        us = _domain_idents(blanked, _US_IDENT_RE)
+        ms = _domain_idents(blanked, _MS_IDENT_RE)
+        if us and ms:
+            first = min(us[0][0], ms[0][0])
+            yield Finding(
+                "T2", sf, off + first,
+                "statement mixes the microsecond domain (%s) with the "
+                "millisecond domain (%s) without a named converter; route "
+                "the crossing through UsToMs()/MsToUs() (src/sim/units.h) "
+                "so the unit change is explicit and rounding is uniform"
+                % (us[0][1], ms[0][1]))
+            continue
+        if (us or ms) and _SCALE_RE.search(blanked):
+            which = us[0][1] if us else ms[0][1]
+            yield Finding(
+                "T2", sf, off + _SCALE_RE.search(blanked).start(),
+                "raw kUsPerMs scaling of time value `%s` re-implements a "
+                "unit conversion inline; use UsToMs()/MsToUs() "
+                "(src/sim/units.h) instead" % which)
